@@ -1,0 +1,85 @@
+"""E14 — Observations 2-4: lower-bound dominance and individual weakness.
+
+Paper claims: mass and span bounds are each arbitrarily bad alone (the two
+Section-4.1 examples), while the demand profile dominates both and is within
+a factor 2 of OPT on the instances we can solve exactly.
+"""
+
+import pytest
+
+from repro.busytime import (
+    best_lower_bound,
+    demand_profile_lower_bound,
+    exact_busy_time_interval,
+    mass_lower_bound,
+    span_lower_bound,
+)
+from repro.core import Instance
+from repro.instances import random_interval_instance
+
+
+def test_individual_bounds_arbitrarily_bad(emit):
+    rows = []
+    for g in (2, 4, 8):
+        # g disjoint unit jobs: mass bound is 1, OPT = g
+        disjoint = Instance.from_intervals(
+            [(2 * i, 2 * i + 1) for i in range(g)]
+        )
+        mass = mass_lower_bound(disjoint, g)
+        opt1 = exact_busy_time_interval(disjoint, g).total_busy_time
+        # g^2 identical unit jobs: span bound is 1, OPT = g
+        identical = Instance.from_intervals([(0, 1)] * (g * g))
+        sp = span_lower_bound(identical)
+        opt2 = exact_busy_time_interval(identical, g).total_busy_time
+        rows.append([g, mass, opt1, opt1 / mass, sp, opt2, opt2 / sp])
+        assert opt1 / mass == pytest.approx(g)
+        assert opt2 / sp == pytest.approx(g)
+    emit(
+        "E14 / Section 4.1 — mass and span bounds degrade linearly in g",
+        ["g", "mass LB", "OPT(disjoint)", "gap", "span LB",
+         "OPT(identical)", "gap"],
+        rows,
+    )
+
+
+def test_profile_dominates(rng, emit):
+    rows = []
+    for (n, g) in [(10, 2), (20, 3), (40, 5)]:
+        dominated = 0
+        for _ in range(10):
+            inst = random_interval_instance(n, 1.5 * n, rng=rng)
+            profile = demand_profile_lower_bound(inst, g)
+            assert profile >= mass_lower_bound(inst, g) - 1e-9
+            assert profile >= span_lower_bound(inst) - 1e-9
+            dominated += 1
+        rows.append([f"n={n}, g={g}", dominated])
+    emit(
+        "E14 / Observation 4 — profile >= max(mass, span) on every instance",
+        ["family", "instances checked"],
+        rows,
+    )
+
+
+def test_profile_within_2_of_opt(rng, emit):
+    rows = []
+    worst = 0.0
+    for _ in range(12):
+        inst = random_interval_instance(6, 10.0, rng=rng)
+        g = int(rng.integers(1, 4))
+        profile = demand_profile_lower_bound(inst, g)
+        opt = exact_busy_time_interval(inst, g).total_busy_time
+        worst = max(worst, opt / profile)
+    rows.append(["random (n=6)", worst])
+    emit(
+        "E14 — OPT / profile (the 2-approximations imply <= 2)",
+        ["family", "max OPT/profile"],
+        rows,
+    )
+    assert worst <= 2.0 + 1e-9
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_bound_computation_runtime(benchmark, rng, n):
+    inst = random_interval_instance(n, 1.5 * n, rng=rng)
+    value = benchmark(best_lower_bound, inst, 4)
+    assert value > 0

@@ -1,0 +1,54 @@
+"""E4 — Section 3.5: the LP integrality gap approaches 2.
+
+Paper claim: on the gap family, the integral optimum is 2g while the LP
+optimum is g + 1, so the gap 2g/(g+1) -> 2; no LP-rounding algorithm can
+beat factor 2.  We regenerate the family across g, solve both programs, and
+confirm the rounding algorithm achieves the integral optimum here.
+"""
+
+import pytest
+
+from repro.activetime import exact_active_time, round_active_time
+from repro.instances import lp_gap
+from repro.lp import solve_active_time_lp
+
+
+def test_gap_sweep(emit):
+    rows = []
+    for g in (2, 4, 8, 12, 16):
+        gad = lp_gap(g)
+        lp = solve_active_time_lp(gad.instance, g)
+        ip = exact_active_time(gad.instance, g)
+        gap = ip.cost / lp.objective
+        rows.append([g, lp.objective, ip.cost, gap, 2 * g / (g + 1)])
+        assert lp.objective == pytest.approx(g + 1, abs=1e-6)
+        assert ip.cost == 2 * g
+    emit(
+        "E4 / Section 3.5 — LP integrality gap (paper: 2g/(g+1) -> 2)",
+        ["g", "LP opt", "IP opt", "measured gap", "paper formula"],
+        rows,
+    )
+
+
+def test_gap_monotone_to_two():
+    gaps = []
+    for g in (2, 4, 8, 16):
+        gad = lp_gap(g)
+        lp = solve_active_time_lp(gad.instance, g)
+        gaps.append(exact_active_time(gad.instance, g).cost / lp.objective)
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > 1.85
+
+
+def test_rounding_hits_ip_optimum_on_gap_family():
+    for g in (2, 4, 8):
+        gad = lp_gap(g)
+        sol = round_active_time(gad.instance, g, strict=True)
+        assert sol.cost == 2 * g  # = IP optimum: rounding is tight here
+
+
+@pytest.mark.parametrize("g", [4, 8])
+def test_lp_solve_runtime(benchmark, g):
+    gad = lp_gap(g)
+    lp = benchmark(solve_active_time_lp, gad.instance, g)
+    assert lp.objective == pytest.approx(g + 1, abs=1e-6)

@@ -1,0 +1,72 @@
+"""E20 (extension) — throughput maximization under a busy-time budget.
+
+The dual problem of Mertzios et al. (Section 1.3): how many jobs fit within
+a busy-time budget?  We sweep the budget from zero to the full-schedule cost
+and report the admission curve (exact MILP vs density greedy).
+"""
+
+import pytest
+
+from repro.busytime import (
+    exact_busy_time_interval,
+    greedy_throughput,
+    maximize_throughput_exact,
+)
+from repro.instances import random_interval_instance
+
+
+def test_admission_curve(rng, emit):
+    inst = random_interval_instance(10, 15.0, rng=rng)
+    g = 2
+    full = exact_busy_time_interval(inst, g).total_busy_time
+    rows = []
+    prev_exact = -1
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        budget = frac * full
+        exact = maximize_throughput_exact(inst, g, budget)
+        greedy = greedy_throughput(inst, g, budget)
+        rows.append(
+            [f"{frac:.2f} x OPT", round(budget, 3), exact.instance.n,
+             greedy.instance.n]
+        )
+        assert greedy.instance.n <= exact.instance.n
+        assert exact.instance.n >= prev_exact
+        prev_exact = exact.instance.n
+    assert prev_exact == inst.n  # full budget admits everything
+    emit(
+        "E20 — admission curve: jobs admitted vs busy-time budget",
+        ["budget", "value", "exact MILP", "density greedy"],
+        rows,
+    )
+
+
+def test_greedy_gap(rng, emit):
+    worst = 1.0
+    for _ in range(8):
+        inst = random_interval_instance(8, 12.0, rng=rng)
+        g = int(rng.integers(1, 3))
+        full = exact_busy_time_interval(inst, g).total_busy_time
+        budget = 0.5 * full
+        exact_n = maximize_throughput_exact(inst, g, budget).instance.n
+        greedy_n = greedy_throughput(inst, g, budget).instance.n
+        if greedy_n > 0:
+            worst = max(worst, exact_n / greedy_n)
+    emit(
+        "E20 — worst exact/greedy admission ratio at half budget",
+        ["worst ratio"],
+        [[worst]],
+    )
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_maximization_runtime(benchmark, rng, n):
+    inst = random_interval_instance(n, 1.5 * n, rng=rng)
+    s = benchmark(maximize_throughput_exact, inst, 2, float(n) / 2)
+    assert s.total_busy_time <= n / 2 + 1e-6
+
+
+@pytest.mark.parametrize("n", [10, 25])
+def test_greedy_runtime(benchmark, rng, n):
+    inst = random_interval_instance(n, 1.5 * n, rng=rng)
+    s = benchmark(greedy_throughput, inst, 2, float(n) / 2)
+    assert s.total_busy_time <= n / 2 + 1e-6

@@ -1,0 +1,68 @@
+"""E2 — Theorem 1 / Figure 3: minimal feasible solutions approach 3 OPT.
+
+Paper claims: any minimal feasible solution costs <= 3 OPT (Theorem 1); the
+Figure-3 gadget admits a minimal solution of cost 3g - 2 against OPT = g, so
+the bound is asymptotically tight.  We regenerate the gadget for a sweep of
+g, verify the adversarial slot set is feasible at cost 3g - 2, and show the
+library's greedy minimizer (inside-out closing order) actually lands on it.
+"""
+
+import pytest
+
+from repro.activetime import exact_active_time, minimal_feasible_schedule
+from repro.flow import is_feasible_slot_set
+from repro.instances import figure3
+
+
+@pytest.mark.parametrize("g", [3, 4, 6, 8])
+def test_fig3_ratio_trend(g, emit):
+    gad = figure3(g)
+    exact = exact_active_time(gad.instance, g)
+    assert exact.cost == g
+
+    slots = gad.witness["adversarial_slots"]
+    assert is_feasible_slot_set(gad.instance, g, slots)
+    adversarial = len(slots)
+    assert adversarial == 3 * g - 2
+
+    greedy = minimal_feasible_schedule(gad.instance, g, order="inside_out")
+    greedy.verify()
+    assert greedy.cost <= 3 * exact.cost
+
+    emit(
+        f"E2 / Figure 3 — minimal feasible vs OPT, g={g}",
+        ["quantity", "value", "ratio vs OPT"],
+        [
+            ["OPT (exact MILP)", exact.cost, 1.0],
+            ["paper adversarial minimal (3g-2)", adversarial, adversarial / g],
+            ["greedy minimal (inside_out)", greedy.cost, greedy.cost / g],
+            ["paper limit", "3g-2 -> 3·OPT", 3.0],
+        ],
+    )
+
+
+def test_fig3_ratio_is_monotone_in_g():
+    ratios = []
+    for g in (3, 4, 6, 8, 12):
+        gad = figure3(g)
+        slots = gad.witness["adversarial_slots"]
+        ratios.append(len(slots) / exact_active_time(gad.instance, g).cost)
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 2.8  # approaching 3
+
+
+def test_greedy_reaches_adversarial_cost():
+    """The library's own minimizer exhibits the worst case on the gadget."""
+    for g in (3, 4, 6):
+        gad = figure3(g)
+        s = minimal_feasible_schedule(gad.instance, g, order="inside_out")
+        assert s.cost == 3 * g - 2
+
+
+@pytest.mark.parametrize("g", [3, 6])
+def test_minimal_feasible_runtime(benchmark, g):
+    gad = figure3(g)
+    schedule = benchmark(
+        minimal_feasible_schedule, gad.instance, g, order="inside_out"
+    )
+    assert schedule.is_valid()

@@ -1,0 +1,79 @@
+"""E16 (extension) — online busy time (Shalom et al. setting, Section 1.3).
+
+The paper surveys the online model: deterministic algorithms cannot beat
+g-competitive in general.  We measure *empirical* competitive ratios of two
+irrevocable policies against the offline exact optimum, maximizing over
+adversarial arrival permutations of each instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.busytime import (
+    exact_busy_time_interval,
+    nested_adversarial_instance,
+    online_best_fit,
+    online_first_fit,
+)
+from repro.core import Instance
+from repro.instances import random_interval_instance
+
+
+def worst_over_permutations(instance, g, policy, rng, tries=6):
+    """Max policy cost over adversarial input permutations (same releases)."""
+    worst = 0.0
+    jobs = list(instance.jobs)
+    for _ in range(tries):
+        perm = list(jobs)
+        rng.shuffle(perm)
+        shuffled = Instance(tuple(perm))
+        worst = max(worst, policy(shuffled, g).total_busy_time)
+    return worst
+
+
+def test_online_competitive_ratios(rng, emit):
+    rows = []
+    for (n, g) in [(8, 2), (10, 3)]:
+        worst_ff = worst_bf = 0.0
+        for _ in range(6):
+            inst = random_interval_instance(n, 14.0, rng=rng)
+            opt = exact_busy_time_interval(inst, g).total_busy_time
+            ff = worst_over_permutations(inst, g, online_first_fit, rng)
+            bf = worst_over_permutations(inst, g, online_best_fit, rng)
+            worst_ff = max(worst_ff, ff / opt)
+            worst_bf = max(worst_bf, bf / opt)
+        rows.append([f"n={n}, g={g}", worst_ff, worst_bf, f"g={g}"])
+        # deterministic online can be as bad as g-competitive, never better
+        # than 1; empirically both policies stay well below g here.
+        assert worst_ff >= 1.0 - 1e-9
+        assert worst_bf >= 1.0 - 1e-9
+    emit(
+        "E16 — empirical competitive ratios over adversarial permutations "
+        "(paper: deterministic lower bound g)",
+        ["family", "first fit (max)", "best fit (max)", "theory LB"],
+        rows,
+    )
+
+
+def test_nested_family(emit):
+    rows = []
+    for g in (2, 3, 4):
+        inst = nested_adversarial_instance(g)
+        opt = exact_busy_time_interval(inst, g).total_busy_time
+        ff = online_first_fit(inst, g).total_busy_time
+        bf = online_best_fit(inst, g).total_busy_time
+        rows.append([g, opt, ff, bf])
+        assert ff >= opt - 1e-9
+        assert bf >= opt - 1e-9
+    emit(
+        "E16 — nested clique stress family",
+        ["g", "offline OPT", "online first fit", "online best fit"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("policy", [online_first_fit, online_best_fit])
+def test_online_policy_runtime(benchmark, rng, policy):
+    inst = random_interval_instance(40, 60.0, rng=rng)
+    s = benchmark(policy, inst, 3)
+    assert s.is_valid()

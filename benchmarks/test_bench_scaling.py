@@ -1,0 +1,66 @@
+"""E17 (engineering) — scaling study: runtime vs instance size.
+
+Not a paper claim, but the repository's own performance envelope: every
+algorithm's wall-clock growth on uniform random families, so regressions are
+visible and users know what sizes are comfortable.  pytest-benchmark records
+the distributions; the shape assertions only require successful completion
+at the largest size.
+"""
+
+import pytest
+
+from repro.activetime import minimal_feasible_schedule, round_active_time
+from repro.busytime import (
+    chain_peeling_two_approx,
+    first_fit,
+    greedy_tracking,
+    greedy_unbounded_preemptive,
+    kumar_rudra,
+)
+from repro.instances import (
+    random_active_time_instance,
+    random_flexible_instance,
+    random_interval_instance,
+)
+
+INTERVAL_SIZES = [25, 100, 400]
+ACTIVE_SIZES = [10, 25, 50]
+
+
+@pytest.mark.parametrize("n", INTERVAL_SIZES)
+@pytest.mark.parametrize(
+    "algo",
+    [first_fit, greedy_tracking, chain_peeling_two_approx, kumar_rudra],
+    ids=lambda f: f.__name__,
+)
+def test_interval_algorithm_scaling(benchmark, rng, algo, n):
+    inst = random_interval_instance(n, 1.5 * n, rng=rng)
+    s = benchmark(algo, inst, 4)
+    assert s.total_busy_time > 0
+
+
+@pytest.mark.parametrize("n", ACTIVE_SIZES)
+def test_rounding_scaling(benchmark, rng, n):
+    inst = random_active_time_instance(n, n + 12, max_slack=6, rng=rng)
+    try:
+        sol = benchmark(round_active_time, inst, 3)
+    except RuntimeError:
+        pytest.skip("instance infeasible at g=3")
+    assert sol.schedule.is_valid()
+
+
+@pytest.mark.parametrize("n", ACTIVE_SIZES)
+def test_minimal_feasible_scaling(benchmark, rng, n):
+    inst = random_active_time_instance(n, n + 12, max_slack=6, rng=rng)
+    try:
+        s = benchmark(minimal_feasible_schedule, inst, 3)
+    except ValueError:
+        pytest.skip("instance infeasible at g=3")
+    assert s.is_valid()
+
+
+@pytest.mark.parametrize("n", [25, 100])
+def test_preemptive_scaling(benchmark, rng, n):
+    inst = random_flexible_instance(n, n + 10, rng=rng)
+    s = benchmark(greedy_unbounded_preemptive, inst)
+    assert s.is_valid()

@@ -1,0 +1,102 @@
+"""E21 (extension) — structured instance classes (footnote 1 regimes).
+
+Measured behaviour of the special-case algorithms against the general ones
+and the exact optimum: proper greedy and clique greedy vs their 2x bounds,
+and the proper-clique DP recovering the optimum exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.busytime import (
+    clique_greedy,
+    exact_busy_time_interval,
+    greedy_tracking,
+    proper_clique_exact,
+    proper_greedy,
+)
+from repro.core import Instance, Job
+from repro.instances import random_clique_instance, random_proper_instance
+
+
+def make_proper_clique(rng, n):
+    lefts = np.sort(rng.uniform(0, 4, n))
+    rights = np.sort(rng.uniform(5, 9, n))
+    return Instance(
+        tuple(
+            Job(float(a) + i * 1e-6, float(b) + i * 1e-6,
+                float(b) - float(a), id=i)
+            for i, (a, b) in enumerate(zip(lefts, rights))
+        )
+    )
+
+
+def test_structured_classes(rng, emit):
+    rows = []
+    for g in (2, 3):
+        worst_p = worst_c = 0.0
+        dp_exact = 0
+        for _ in range(8):
+            proper = random_proper_instance(8, 14.0, rng=rng)
+            opt_p = exact_busy_time_interval(proper, g).total_busy_time
+            worst_p = max(
+                worst_p, proper_greedy(proper, g).total_busy_time / opt_p
+            )
+
+            clique = random_clique_instance(8, 14.0, rng=rng)
+            opt_c = exact_busy_time_interval(clique, g).total_busy_time
+            worst_c = max(
+                worst_c, clique_greedy(clique, g).total_busy_time / opt_c
+            )
+
+            pc = make_proper_clique(rng, int(rng.integers(3, 8)))
+            dp = proper_clique_exact(pc, g).total_busy_time
+            milp = exact_busy_time_interval(pc, g).total_busy_time
+            if abs(dp - milp) < 1e-6:
+                dp_exact += 1
+        rows.append([g, worst_p, worst_c, f"{dp_exact}/8"])
+        assert worst_p <= 2.0 + 1e-9
+        assert worst_c <= 2.0 + 1e-9
+        assert dp_exact == 8
+    emit(
+        "E21 — structured classes: ratios vs exact OPT "
+        "(bounds: proper 2x, clique 2x, proper-clique DP exact)",
+        ["g", "proper greedy (max)", "clique greedy (max)",
+         "DP == MILP"],
+        rows,
+    )
+
+
+def test_special_vs_general(rng, emit):
+    """Do the specialized algorithms beat GREEDYTRACKING on their classes?"""
+    rows = []
+    for label, make, special in [
+        ("proper", lambda: random_proper_instance(10, 16.0, rng=rng),
+         proper_greedy),
+        ("clique", lambda: random_clique_instance(10, 16.0, rng=rng),
+         clique_greedy),
+    ]:
+        wins = losses = ties = 0
+        for _ in range(10):
+            inst = make()
+            s = special(inst, 3).total_busy_time
+            gt = greedy_tracking(inst, 3).total_busy_time
+            if s < gt - 1e-9:
+                wins += 1
+            elif s > gt + 1e-9:
+                losses += 1
+            else:
+                ties += 1
+        rows.append([label, wins, losses, ties])
+    emit(
+        "E21 — specialized vs GREEDYTRACKING on structured classes",
+        ["class", "special wins", "GT wins", "ties"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("n", [10, 30])
+def test_proper_clique_dp_runtime(benchmark, rng, n):
+    inst = make_proper_clique(rng, n)
+    s = benchmark(proper_clique_exact, inst, 3)
+    assert s.total_busy_time > 0

@@ -1,0 +1,80 @@
+"""E15 (extension) — busy time with job widths (Khandekar et al. 5-approx).
+
+The paper's introduction discusses the width generalization and its
+5-approximation via the narrow/wide split.  We measure both the plain
+width-aware FIRSTFIT and the split against the width-profile lower bound,
+and ablate the split threshold.
+"""
+
+import pytest
+
+from repro.busytime import (
+    WidthInstance,
+    WidthJob,
+    first_fit_with_widths,
+    khandekar_narrow_wide,
+    width_mass_lower_bound,
+    width_profile_lower_bound,
+)
+from repro.instances import random_interval_instance
+
+
+def make_width_instance(rng, n, g):
+    base = random_interval_instance(n, 1.5 * n, rng=rng)
+    return WidthInstance(
+        tuple(WidthJob(j, float(rng.uniform(0.3, g))) for j in base.jobs)
+    )
+
+
+def test_width_algorithms_vs_profile(rng, emit):
+    rows = []
+    for (n, g) in [(12, 3), (20, 4), (30, 6)]:
+        worst_ff = worst_kw = 0.0
+        for _ in range(10):
+            wi = make_width_instance(rng, n, g)
+            lb = max(
+                width_mass_lower_bound(wi, g),
+                width_profile_lower_bound(wi, g),
+            )
+            ff = first_fit_with_widths(wi, g)
+            kw = khandekar_narrow_wide(wi, g)
+            ff.verify()
+            kw.verify()
+            worst_ff = max(worst_ff, ff.total_busy_time / lb)
+            worst_kw = max(worst_kw, kw.total_busy_time / lb)
+        rows.append([f"n={n}, g={g}", worst_ff, worst_kw, 5.0])
+        assert worst_kw <= 5.0 + 1e-9
+    emit(
+        "E15 — width model: cost / width-profile bound "
+        "(paper context: Khandekar et al. 5-approx)",
+        ["family", "width FIRSTFIT (max)", "narrow/wide split (max)",
+         "paper bound"],
+        rows,
+    )
+
+
+def test_narrow_wide_ablation(rng, emit):
+    """Does the split help over plain width-FF?  (design-choice ablation)"""
+    better = worse = same = 0
+    for _ in range(20):
+        wi = make_width_instance(rng, 16, 4)
+        ff = first_fit_with_widths(wi, 4).total_busy_time
+        kw = khandekar_narrow_wide(wi, 4).total_busy_time
+        if kw < ff - 1e-9:
+            better += 1
+        elif kw > ff + 1e-9:
+            worse += 1
+        else:
+            same += 1
+    emit(
+        "E15 — narrow/wide split ablation (vs plain width FIRSTFIT)",
+        ["split better", "split worse", "equal"],
+        [[better, worse, same]],
+    )
+
+
+@pytest.mark.parametrize("n", [20, 50])
+def test_narrow_wide_runtime(benchmark, rng, n):
+    wi = make_width_instance(rng, n, 4)
+    s = benchmark(khandekar_narrow_wide, wi, 4)
+    assert s.total_busy_time > 0

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Optical network grooming: minimizing OADM fiber time (the paper's other
+motivating application, via Flammini et al. [5] and Kumar-Rudra [11]).
+
+Scenario: lightpath requests on a wavelength-division line each occupy a
+fixed time interval (interval jobs — transmission slots are contractual).
+A fiber carries at most ``g`` wavelengths; the cost of the design is the
+total time fibers are lit.  This is busy time with interval jobs.
+
+The script builds a request pattern with rush-hour bursts, computes the
+demand profile (the quantity the 2-approximations charge), runs all four
+interval algorithms and prints the profile alongside the solutions so the
+charging argument is visible.
+
+Run:  python examples/optical_network_grooming.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Instance
+from repro.analysis import format_table
+from repro.busytime import (
+    best_lower_bound,
+    chain_peeling_two_approx,
+    compute_demand_profile,
+    exact_busy_time_interval,
+    first_fit,
+    greedy_tracking,
+    kumar_rudra,
+)
+from repro.instances import random_interval_instance
+
+
+def rush_hour_requests(rng: np.random.Generator) -> Instance:
+    """Lightpath requests: a steady trickle plus two bursts."""
+    base = random_interval_instance(10, 20.0, max_length=6.0, rng=rng)
+    jobs = list(base.jobs)
+    next_id = len(jobs)
+    for center in (5.0, 14.0):  # bursts
+        for _ in range(6):
+            a = center + float(rng.uniform(-1.0, 1.0))
+            ln = float(rng.uniform(0.5, 2.0))
+            from repro.core import Job
+
+            jobs.append(Job(a, a + ln, ln, id=next_id))
+            next_id += 1
+    return Instance(tuple(jobs))
+
+
+def main(seed: int = 3) -> None:
+    rng = np.random.default_rng(seed)
+    g = 3  # wavelengths per fiber
+    requests = rush_hour_requests(rng)
+    print(f"requests: {requests.describe()}, g={g} wavelengths/fiber\n")
+
+    profile = compute_demand_profile(requests, g)
+    print(
+        format_table(
+            "Demand profile (fibers forced lit per segment)",
+            ["segment", "requests", "fibers"],
+            [
+                [f"[{a:.2f}, {b:.2f})", raw, profile.demand(i)]
+                for i, ((a, b), raw) in enumerate(
+                    zip(profile.segments, profile.raw)
+                )
+            ][:12]
+            + ([["...", "...", "..."]] if len(profile.segments) > 12 else []),
+        )
+    )
+    print(f"\nprofile lower bound: {profile.cost:.2f} fiber-hours")
+
+    rows = []
+    for name, fn, bound in [
+        ("FIRSTFIT [5]", first_fit, 4),
+        ("GREEDYTRACKING (Thm 5)", greedy_tracking, 3),
+        ("chain peeling (Thm 3)", chain_peeling_two_approx, 2),
+        ("Kumar-Rudra levels (App A.1)", kumar_rudra, 2),
+    ]:
+        s = fn(requests, g)
+        s.verify()
+        rows.append(
+            [name, s.total_busy_time, s.num_machines,
+             s.total_busy_time / profile.cost, bound]
+        )
+    if requests.n <= 20:
+        opt = exact_busy_time_interval(requests, g)
+        rows.insert(0, ["exact (MILP)", opt.total_busy_time,
+                        opt.num_machines, opt.total_busy_time / profile.cost,
+                        1])
+
+    print(
+        format_table(
+            "\nFiber-hours by grooming algorithm",
+            ["algorithm", "fiber-hours", "fibers", "vs profile", "bound"],
+            rows,
+        )
+    )
+    print(f"\nbest lower bound (Obs 2-4): {best_lower_bound(requests, g):.2f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Visual tour: ASCII Gantt charts for every schedule kind.
+
+Renders, for one small scenario each:
+
+1. a flexible instance and its window structure,
+2. the demand profile and lower bounds,
+3. busy-time packings by three algorithms side by side,
+4. an active-time schedule as a slot-occupancy grid.
+
+Run:  python examples/visualize_schedules.py
+"""
+
+from repro import (
+    Instance,
+    chain_peeling_two_approx,
+    compute_demand_profile,
+    exact_active_time,
+    first_fit,
+    greedy_tracking,
+)
+from repro.viz import (
+    render_active_schedule,
+    render_busy_schedule,
+    render_demand_profile,
+    render_instance,
+)
+
+
+def main() -> None:
+    rigid = Instance.from_intervals(
+        [
+            (0.0, 3.0),
+            (0.5, 2.0),
+            (1.0, 4.0),
+            (3.5, 6.0),
+            (4.0, 7.0),
+            (4.5, 5.5),
+            (2.5, 4.5),
+        ]
+    )
+    g = 2
+
+    print("=" * 68)
+    print("1. the instance (rigid interval jobs)")
+    print("=" * 68)
+    print(render_instance(rigid))
+
+    print()
+    print("=" * 68)
+    print(f"2. demand profile at g={g} (Observation 4's lower bound)")
+    print("=" * 68)
+    print(render_demand_profile(compute_demand_profile(rigid, g)))
+
+    print()
+    print("=" * 68)
+    print("3. busy-time packings")
+    print("=" * 68)
+    for name, fn in [
+        ("FIRSTFIT (4-approx)", first_fit),
+        ("GREEDYTRACKING (3-approx)", greedy_tracking),
+        ("chain peeling (2-approx)", chain_peeling_two_approx),
+    ]:
+        s = fn(rigid, g)
+        print(f"\n--- {name}: busy time {s.total_busy_time:g} ---")
+        print(render_busy_schedule(s))
+
+    print()
+    print("=" * 68)
+    print("4. active time: exact schedule of a flexible instance (g=2)")
+    print("=" * 68)
+    flexible = Instance.from_tuples(
+        [(0, 4, 2), (1, 5, 3), (0, 6, 1), (2, 7, 2), (5, 8, 2)]
+    )
+    print(render_instance(flexible))
+    print()
+    print(render_active_schedule(exact_active_time(flexible, 2)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Capacity analysis: how much parallelism does an instance need?
+
+Planning questions around the active-time model that the feasibility oracle
+(Figure 2) answers directly:
+
+* :func:`minimum_feasible_capacity` — the smallest ``g`` for which any
+  schedule exists (binary search over ``g``; feasibility is monotone in
+  ``g`` because extra capacity only relaxes the flow network);
+* :func:`capacity_frontier` — the exact active-time cost as a function of
+  ``g``, i.e. the energy/parallelism trade-off curve of the capacity
+  planning example.
+
+Lower bound used to seed the search: a slot ``t`` can host at most ``g``
+units, so ``g >= ceil(max_t demand pressure)`` where the pressure of any
+window is its mass over its width (a Hall-type bound).
+"""
+
+from __future__ import annotations
+
+from ..core.jobs import Instance
+from ..core.validation import require_integral
+from ..flow.feasibility import ActiveTimeFeasibility
+from .exact import exact_active_time
+
+__all__ = [
+    "minimum_feasible_capacity",
+    "capacity_frontier",
+    "window_pressure_bound",
+]
+
+
+def window_pressure_bound(instance: Instance) -> int:
+    """A lower bound on any feasible capacity.
+
+    For every interval ``[a, b]`` of slots, the jobs whose windows lie inside
+    it must fit: ``g >= ceil(mass(a, b) / (b - a + 1))``.  Evaluated over all
+    windows with endpoints at job releases/deadlines (sufficient, since the
+    mass function only changes there).
+    """
+    require_integral(instance)
+    if instance.n == 0:
+        return 1
+    points = sorted(
+        {j.integral_window()[0] for j in instance.jobs}
+        | {j.integral_window()[1] for j in instance.jobs}
+    )
+    best = 1
+    for i, a in enumerate(points):
+        for b in points[i + 1 :]:
+            width = b - a
+            if width <= 0:
+                continue
+            mass = sum(
+                j.integral_length()
+                for j in instance.jobs
+                if j.integral_window()[0] >= a and j.integral_window()[1] <= b
+            )
+            need = -(-mass // width)
+            best = max(best, need)
+    return best
+
+
+def minimum_feasible_capacity(instance: Instance) -> int:
+    """The smallest ``g`` admitting any feasible active-time schedule.
+
+    Binary search between the window-pressure bound and the trivial upper
+    bound ``n`` (with ``g = n`` every slot can host every live job, and each
+    job has enough slots in its window by the :class:`Job` invariant).
+    """
+    require_integral(instance)
+    if instance.n == 0:
+        return 1
+
+    def feasible(g: int) -> bool:
+        oracle = ActiveTimeFeasibility(instance, g)
+        return oracle.is_feasible(range(1, instance.horizon + 1))
+
+    lo = window_pressure_bound(instance)
+    hi = max(lo, instance.n)
+    if not feasible(hi):  # pragma: no cover - impossible by Job invariant
+        raise RuntimeError("instance infeasible even at g = n")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def capacity_frontier(
+    instance: Instance, *, g_max: int | None = None
+) -> list[tuple[int, int]]:
+    """Exact optimal active time for each capacity ``g_min .. g_max``.
+
+    Returns ``(g, optimal cost)`` pairs; the curve is non-increasing and
+    plateaus once ``g`` exceeds the peak demand any optimal schedule needs.
+    """
+    require_integral(instance)
+    if instance.n == 0:
+        return []
+    g_min = minimum_feasible_capacity(instance)
+    top = g_max if g_max is not None else instance.n
+    frontier: list[tuple[int, int]] = []
+    for g in range(g_min, max(g_min, top) + 1):
+        frontier.append((g, exact_active_time(instance, g).cost))
+    return frontier

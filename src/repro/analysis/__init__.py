@@ -1,0 +1,18 @@
+"""Measurement helpers: approximation ratios and report formatting."""
+
+from .experiments import EXPERIMENTS, Experiment, run_all, run_experiment
+from .ratios import RatioSample, RatioSummary, collect_ratios, summarize
+from .report import format_series, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "run_all",
+    "run_experiment",
+    "RatioSample",
+    "RatioSummary",
+    "collect_ratios",
+    "format_series",
+    "format_table",
+    "summarize",
+]

@@ -1,0 +1,65 @@
+"""Lower bounds on optimal busy time (Observations 2–4).
+
+Three bounds, each arbitrarily bad alone (Section 4.1's examples) but strong
+in combination:
+
+* **mass**: ``ℓ(J) / g`` — at most ``g`` jobs run concurrently per machine;
+* **span**: ``OPT_inf(J)`` — dropping the capacity constraint only helps;
+  for interval jobs this is just ``Sp(J)``;
+* **demand profile**: ``sum_i ceil(|A(I_i)|/g) * ℓ(I_i)`` — within each
+  interesting interval, ``ceil(|A|/g)`` machines must be busy.  Dominates the
+  span bound and (for interval jobs) the mass bound.
+"""
+
+from __future__ import annotations
+
+from ..core.intervals import span as _span
+from ..core.jobs import Instance
+from ..core.validation import require_capacity, require_interval_jobs
+from .demand_profile import compute_demand_profile
+
+__all__ = [
+    "mass_lower_bound",
+    "span_lower_bound",
+    "demand_profile_lower_bound",
+    "best_lower_bound",
+]
+
+
+def mass_lower_bound(instance: Instance, g: int) -> float:
+    """Observation 2: ``OPT >= ℓ(J) / g``."""
+    require_capacity(g)
+    return instance.total_length / g
+
+
+def span_lower_bound(instance: Instance) -> float:
+    """Observation 3 for interval jobs: ``OPT >= Sp(J) = OPT_inf``.
+
+    For flexible jobs ``OPT_inf`` requires the unbounded-capacity placement
+    (see :mod:`repro.busytime.unbounded`); this function only accepts
+    interval instances, where the spans are fixed.
+    """
+    require_interval_jobs(instance, "span bound")
+    return _span(j.window for j in instance.jobs)
+
+
+def demand_profile_lower_bound(instance: Instance, g: int) -> float:
+    """Observation 4: ``OPT >= sum_i D(I_i) * ℓ(I_i)`` (interval jobs)."""
+    return compute_demand_profile(instance, g).cost
+
+
+def best_lower_bound(instance: Instance, g: int) -> float:
+    """The strongest of the three bounds for an interval instance.
+
+    The demand profile dominates both others for interval jobs (each segment
+    contributes ``max(ℓ_i, A_i ℓ_i / g) <= D_i ℓ_i``), but we take the max
+    defensively — it also documents the relationship, which a property test
+    asserts.
+    """
+    if instance.n == 0:
+        return 0.0
+    return max(
+        mass_lower_bound(instance, g),
+        span_lower_bound(instance),
+        demand_profile_lower_bound(instance, g),
+    )

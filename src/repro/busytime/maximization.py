@@ -1,0 +1,205 @@
+"""The dual problem: throughput maximization under a busy-time budget.
+
+Mertzios et al. [12] (Section 1.3 of the paper) study the *resource
+allocation maximization* version of busy time: given interval jobs, a
+parallelism bound ``g`` and a busy-time budget ``B``, schedule as many jobs
+as possible without the cumulative busy time exceeding ``B``.  They show the
+maximization version is NP-hard whenever the minimization version is and
+give constant-factor approximations for structured instances.
+
+This module provides:
+
+* :func:`maximize_throughput_exact` — an exact MILP (selection + machine
+  assignment + busy indicators with a budget row);
+* :func:`greedy_throughput` — a density greedy: repeatedly admit the job
+  whose busy-time increment is smallest (ties to shorter jobs), a natural
+  heuristic with no worst-case guarantee — the bench measures its gap;
+* consistency helpers used by the tests (monotonicity in ``B``, the
+  "enough budget admits everything" boundary, etc.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..core.intervals import interesting_intervals, span
+from ..core.jobs import Instance, Job
+from ..core.validation import require_capacity, require_interval_jobs
+from .firstfit import fits_in_bundle
+from .schedule import BusyTimeSchedule
+
+__all__ = ["maximize_throughput_exact", "greedy_throughput"]
+
+
+def maximize_throughput_exact(
+    instance: Instance,
+    g: int,
+    budget: float,
+    *,
+    max_machines: int | None = None,
+) -> BusyTimeSchedule:
+    """Exact maximum-throughput schedule within a busy-time budget.
+
+    Returns a schedule over the *admitted* subset (its ``instance`` field is
+    restricted accordingly so ``verify()`` checks exactly the admitted jobs).
+    """
+    require_interval_jobs(instance, "throughput maximization")
+    require_capacity(g)
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    n = instance.n
+    if n == 0:
+        return BusyTimeSchedule.from_bundle_jobs(instance, g, [])
+    M = min(max_machines or n, n)
+    segments = interesting_intervals(instance)
+    seg_len = [b - a for a, b in segments]
+    seg_jobs: list[list[int]] = []
+    for a, b in segments:
+        mid = 0.5 * (a + b)
+        seg_jobs.append(
+            [k for k, j in enumerate(instance.jobs) if j.is_live_at(mid)]
+        )
+
+    z_col: dict[tuple[int, int], int] = {}
+    col = 0
+    for k in range(n):
+        for m in range(min(k + 1, M)):
+            z_col[(k, m)] = col
+            col += 1
+    u_col: dict[tuple[int, int], int] = {}
+    for m in range(M):
+        for i in range(len(segments)):
+            u_col[(m, i)] = col
+            col += 1
+    num_vars = col
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    lb: list[float] = []
+    ub: list[float] = []
+    row = 0
+
+    # each job on AT MOST one machine (selection)
+    for k in range(n):
+        for m in range(min(k + 1, M)):
+            rows.append(row)
+            cols.append(z_col[(k, m)])
+            vals.append(1.0)
+        lb.append(0.0)
+        ub.append(1.0)
+        row += 1
+
+    # capacity + busy indicator per (machine, segment)
+    for m in range(M):
+        for i, live in enumerate(seg_jobs):
+            touched = False
+            for k in live:
+                c = z_col.get((k, m))
+                if c is not None:
+                    rows.append(row)
+                    cols.append(c)
+                    vals.append(1.0)
+                    touched = True
+            if not touched:
+                continue
+            rows.append(row)
+            cols.append(u_col[(m, i)])
+            vals.append(-float(g))
+            lb.append(-np.inf)
+            ub.append(0.0)
+            row += 1
+
+    # budget: total busy time <= B
+    for (m, i), c in u_col.items():
+        rows.append(row)
+        cols.append(c)
+        vals.append(seg_len[i])
+    lb.append(-np.inf)
+    ub.append(float(budget))
+    row += 1
+
+    a = sparse.coo_matrix((vals, (rows, cols)), shape=(row, num_vars)).tocsr()
+    c_vec = np.zeros(num_vars)
+    for (k, m), cc in z_col.items():
+        c_vec[cc] = -1.0  # maximize selections
+
+    res = milp(
+        c=c_vec,
+        constraints=LinearConstraint(a, np.asarray(lb), np.asarray(ub)),
+        integrality=np.ones(num_vars),
+        bounds=Bounds(0.0, 1.0),
+    )
+    if res.status != 0 or res.x is None:
+        raise RuntimeError(f"throughput MILP failed: {res.message}")
+
+    groups: dict[int, list[Job]] = {}
+    admitted: list[Job] = []
+    for (k, m), cc in z_col.items():
+        if res.x[cc] > 0.5:
+            job = instance.jobs[k]
+            groups.setdefault(m, []).append(job)
+            admitted.append(job)
+    sub = Instance(tuple(sorted(admitted, key=lambda j: j.id)))
+    return BusyTimeSchedule.from_bundle_jobs(
+        sub, g, [v for _, v in sorted(groups.items())]
+    )
+
+
+def greedy_throughput(
+    instance: Instance, g: int, budget: float
+) -> BusyTimeSchedule:
+    """Density greedy: admit the job with the smallest busy-time increment.
+
+    Each round evaluates, for every unadmitted job, the cheapest increment
+    over all machines (or a new machine); admits the global minimum while
+    the budget allows.  No approximation guarantee — serves as the baseline
+    the exact MILP is compared against in bench E20.
+    """
+    require_interval_jobs(instance, "greedy throughput")
+    require_capacity(g)
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+
+    bundles: list[list[Job]] = []
+    remaining = sorted(
+        instance.jobs, key=lambda j: (j.length, j.release, j.id)
+    )
+    admitted: list[Job] = []
+    used = 0.0
+
+    while remaining:
+        best: tuple[float, int, Job, int | None] | None = None
+        for job in remaining:
+            # new machine
+            candidate = (job.length, job.id, job, None)
+            if best is None or candidate[:2] < best[:2]:
+                best_for_job = candidate
+            else:
+                best_for_job = candidate
+            for k, members in enumerate(bundles):
+                if not fits_in_bundle(members, job, g):
+                    continue
+                before = span(m.window for m in members)
+                after = span([m.window for m in members] + [job.window])
+                delta = after - before
+                if delta < best_for_job[0] - 1e-12:
+                    best_for_job = (delta, job.id, job, k)
+            if best is None or best_for_job[:2] < best[:2]:
+                best = best_for_job
+        assert best is not None
+        delta, _, job, where = best
+        if used + delta > budget + 1e-9:
+            break
+        used += delta
+        admitted.append(job)
+        if where is None:
+            bundles.append([job])
+        else:
+            bundles[where].append(job)
+        remaining = [j for j in remaining if j.id != job.id]
+
+    sub = Instance(tuple(sorted(admitted, key=lambda j: j.id)))
+    return BusyTimeSchedule.from_bundle_jobs(sub, g, bundles)

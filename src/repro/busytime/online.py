@@ -1,0 +1,118 @@
+"""Online busy-time scheduling — the Shalom et al. setting (Section 1.3).
+
+Interval jobs arrive one at a time (by release time, ties broken by the
+adversary through input order); each must be *irrevocably* assigned to a
+machine on arrival.  Shalom et al. prove no deterministic algorithm beats
+``g``-competitive on general instances and give an ``O(g)``-competitive
+algorithm.
+
+This module provides the simulation scaffolding and two natural policies:
+
+* :func:`online_first_fit` — first machine whose capacity admits the job;
+* :func:`online_best_fit` — the machine whose busy time grows the least
+  (ties to the lowest index), a common consolidation heuristic.
+
+plus :func:`nested_adversarial_instance`, a nested clique family that makes
+early commitments expensive (a stress input, not a reproduction of the
+Shalom et al. Ω(g) lower-bound construction — that bound needs an adaptive
+adversary).  The benchmark harness measures empirical competitive ratios
+against the offline exact MILP over adversarial arrival permutations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.intervals import span
+from ..core.jobs import Instance, Job
+from ..core.validation import require_capacity, require_interval_jobs
+from .firstfit import fits_in_bundle
+from .schedule import BusyTimeSchedule
+
+__all__ = [
+    "arrival_order",
+    "online_first_fit",
+    "online_best_fit",
+    "nested_adversarial_instance",
+]
+
+Policy = Callable[[list[list[Job]], Job, int], int | None]
+
+
+def arrival_order(instance: Instance) -> list[Job]:
+    """Arrival sequence: by release time, input order breaking ties.
+
+    The adversary controls tie-breaking through the instance's job order,
+    which is exactly how the lower-bound constructions are phrased.
+    """
+    indexed = list(enumerate(instance.jobs))
+    indexed.sort(key=lambda pair: (pair[1].release, pair[0]))
+    return [j for _, j in indexed]
+
+
+def _run_online(instance: Instance, g: int, choose: Policy) -> BusyTimeSchedule:
+    require_interval_jobs(instance, "online scheduling")
+    require_capacity(g)
+    bundles: list[list[Job]] = []
+    for job in arrival_order(instance):
+        idx = choose(bundles, job, g)
+        if idx is None:
+            bundles.append([job])
+        else:
+            bundles[idx].append(job)
+    return BusyTimeSchedule.from_bundle_jobs(instance, g, bundles)
+
+
+def online_first_fit(instance: Instance, g: int) -> BusyTimeSchedule:
+    """Assign each arriving job to the first machine with room."""
+
+    def choose(bundles: list[list[Job]], job: Job, g: int) -> int | None:
+        for k, members in enumerate(bundles):
+            if fits_in_bundle(members, job, g):
+                return k
+        return None
+
+    return _run_online(instance, g, choose)
+
+
+def online_best_fit(instance: Instance, g: int) -> BusyTimeSchedule:
+    """Assign each arriving job minimizing the busy-time increase."""
+
+    def choose(bundles: list[list[Job]], job: Job, g: int) -> int | None:
+        best_k: int | None = None
+        best_delta = job.length  # opening a new machine costs the full span
+        for k, members in enumerate(bundles):
+            if not fits_in_bundle(members, job, g):
+                continue
+            before = span(m.window for m in members)
+            after = span([m.window for m in members] + [job.window])
+            delta = after - before
+            if delta < best_delta - 1e-12:
+                best_delta = delta
+                best_k = k
+        return best_k
+
+    return _run_online(instance, g, choose)
+
+
+def nested_adversarial_instance(g: int, *, levels: int | None = None) -> Instance:
+    """A nested clique family stressing early online commitments.
+
+    Level ``l`` (outermost first) contributes ``g`` identical intervals, each
+    nested strictly inside the previous level.  All levels share the central
+    clique point, so every machine an online policy fills early is blocked
+    for every later level; policies differ in how much span those early
+    commitments waste.
+    """
+    require_capacity(g)
+    depth = g if levels is None else levels
+    jobs: list[Job] = []
+    lo, hi = 0.0, float(2**depth)
+    next_id = 0
+    for level in range(depth):
+        for _ in range(g):
+            jobs.append(Job(lo, hi, hi - lo, id=next_id, label=f"L{level}"))
+            next_id += 1
+        quarter = (hi - lo) / 4
+        lo, hi = lo + quarter, hi - quarter
+    return Instance(tuple(jobs))

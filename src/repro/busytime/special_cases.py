@@ -1,0 +1,109 @@
+"""Special instance classes discussed in footnote 1 and related work.
+
+Flammini et al. [5] sharpen the busy-time bounds on structured interval
+instances, and Mertzios et al. [12] solve one class exactly:
+
+* **proper instances** (no window strictly contains another): greedy by
+  release time is 2-approximate;
+* **clique instances** (all windows share a common point): a greedy grouping
+  of ``g`` consecutive jobs (sorted by release) is 2-approximate;
+* **proper clique instances**: a simple dynamic program is *exact* — in an
+  optimal solution the bundles are consecutive runs in the sorted order, so
+  a shortest-path DP over group boundaries suffices.
+
+These are extensions beyond the paper's own theorems; the DP's consecutive-
+runs property follows from the standard exchange argument (swapping two jobs
+between bundles of a proper clique never increases either span), and the
+test-suite cross-checks the DP against the exact MILP.
+"""
+
+from __future__ import annotations
+
+from ..core.jobs import Instance, Job
+from ..core.validation import require_capacity, require_interval_jobs
+from .firstfit import first_fit
+from .schedule import BusyTimeSchedule
+
+__all__ = ["proper_greedy", "clique_greedy", "proper_clique_exact"]
+
+
+def proper_greedy(instance: Instance, g: int) -> BusyTimeSchedule:
+    """Greedy-by-release first fit on a proper instance (2-approximate).
+
+    Raises ``ValueError`` when some window strictly contains another — the
+    guarantee is specific to proper instances (on general instances this
+    ordering is only the FIRSTFIT heuristic with a different order).
+    """
+    require_interval_jobs(instance, "proper greedy")
+    require_capacity(g)
+    if not instance.is_proper():
+        raise ValueError(
+            "proper_greedy requires a proper instance "
+            "(no window strictly inside another)"
+        )
+    return first_fit(instance, g, order="release")
+
+
+def clique_greedy(instance: Instance, g: int) -> BusyTimeSchedule:
+    """Group ``g`` consecutive jobs (by release) on a clique instance.
+
+    All windows share a common point, so any ``g`` jobs may share a machine;
+    grouping *consecutive* jobs in release order keeps each bundle's span
+    close to its longest member (the 2-approximation of Flammini et al.).
+    """
+    require_interval_jobs(instance, "clique greedy")
+    require_capacity(g)
+    if instance.n == 0:
+        return BusyTimeSchedule.from_bundle_jobs(instance, g, [])
+    if not instance.is_clique():
+        raise ValueError(
+            "clique_greedy requires a clique instance "
+            "(all windows sharing a common time point)"
+        )
+    ordered = sorted(instance.jobs, key=lambda j: (j.release, j.deadline, j.id))
+    groups = [ordered[i : i + g] for i in range(0, len(ordered), g)]
+    return BusyTimeSchedule.from_bundle_jobs(instance, g, groups)
+
+
+def proper_clique_exact(instance: Instance, g: int) -> BusyTimeSchedule:
+    """Exact busy time for proper clique instances (Mertzios et al. [12]).
+
+    Sort jobs by release time; in a proper instance deadlines then appear in
+    the same order, and in a clique any subset is capacity-feasible.  An
+    exchange argument shows some optimal solution uses bundles that are
+    consecutive runs of length at most ``g`` in this order, so
+
+        f(i) = min over 1 <= k <= min(i, g) of
+               f(i - k) + (d_i - r_{i-k+1})
+
+    computes the optimum in ``O(n g)``.
+    """
+    require_interval_jobs(instance, "proper clique DP")
+    require_capacity(g)
+    if instance.n == 0:
+        return BusyTimeSchedule.from_bundle_jobs(instance, g, [])
+    if not instance.is_proper() or not instance.is_clique():
+        raise ValueError(
+            "proper_clique_exact requires a proper clique instance"
+        )
+    ordered = sorted(instance.jobs, key=lambda j: (j.release, j.deadline, j.id))
+    n = len(ordered)
+    INF = float("inf")
+    cost = [INF] * (n + 1)
+    choice = [0] * (n + 1)
+    cost[0] = 0.0
+    for i in range(1, n + 1):
+        for k in range(1, min(i, g) + 1):
+            span = ordered[i - 1].deadline - ordered[i - k].release
+            cand = cost[i - k] + span
+            if cand < cost[i]:
+                cost[i] = cand
+                choice[i] = k
+    groups: list[list[Job]] = []
+    i = n
+    while i > 0:
+        k = choice[i]
+        groups.append(ordered[i - k : i])
+        i -= k
+    groups.reverse()
+    return BusyTimeSchedule.from_bundle_jobs(instance, g, groups)

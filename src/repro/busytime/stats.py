@@ -1,0 +1,88 @@
+"""Schedule statistics: utilization, balance and fragmentation.
+
+Operational metrics downstream users ask of a busy-time solution beyond the
+objective itself — how efficiently the paid-for machine time is used, how
+evenly machines are loaded, and how fragmented each machine's on-time is.
+Used by the examples and handy for comparing algorithms beyond total cost.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from .schedule import BusyTimeSchedule
+
+__all__ = ["ScheduleStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Summary metrics of a busy-time schedule.
+
+    Attributes
+    ----------
+    total_busy_time:
+        The objective value.
+    machines:
+        Number of machines used.
+    utilization:
+        ``mass / (g * busy)`` — fraction of paid capacity doing work
+        (1.0 means every machine ran ``g`` jobs whenever it was on).
+    mean_machine_busy, max_machine_busy:
+        Load distribution across machines.
+    busy_blocks:
+        Total number of maximal busy intervals across machines (equals
+        ``machines`` when every machine's on-time is contiguous; the paper
+        notes contiguity is WLOG for the objective, but algorithms may
+        produce fragmented machines).
+    fragmentation:
+        ``busy_blocks / machines`` — 1.0 means fully contiguous.
+    """
+
+    total_busy_time: float
+    machines: int
+    utilization: float
+    mean_machine_busy: float
+    max_machine_busy: float
+    busy_blocks: int
+    fragmentation: float
+
+    def rows(self) -> list[list[object]]:
+        """Rows for :func:`repro.analysis.format_table`."""
+        return [
+            ["total busy time", round(self.total_busy_time, 4)],
+            ["machines", self.machines],
+            ["utilization", round(self.utilization, 4)],
+            ["mean machine busy", round(self.mean_machine_busy, 4)],
+            ["max machine busy", round(self.max_machine_busy, 4)],
+            ["busy blocks", self.busy_blocks],
+            ["fragmentation", round(self.fragmentation, 4)],
+        ]
+
+
+def compute_stats(schedule: BusyTimeSchedule) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` for a schedule."""
+    if not schedule.bundles:
+        return ScheduleStats(
+            total_busy_time=0.0,
+            machines=0,
+            utilization=0.0,
+            mean_machine_busy=0.0,
+            max_machine_busy=0.0,
+            busy_blocks=0,
+            fragmentation=0.0,
+        )
+    busies = [b.busy_time for b in schedule.bundles]
+    mass = sum(b.mass for b in schedule.bundles)
+    total = sum(busies)
+    blocks = sum(len(b.busy_intervals) for b in schedule.bundles)
+    return ScheduleStats(
+        total_busy_time=total,
+        machines=len(busies),
+        utilization=(mass / (schedule.g * total)) if total > 0 else 0.0,
+        mean_machine_busy=statistics.fmean(busies),
+        max_machine_busy=max(busies),
+        busy_blocks=blocks,
+        fragmentation=blocks / len(busies),
+    )

@@ -1,0 +1,273 @@
+"""Busy time with job widths (demands) — the Khandekar et al. generalization.
+
+The paper's introduction discusses the model where each interval job ``j``
+additionally has a *width* (demand) ``w_j``; a machine may run any set of
+jobs whose total width is at most ``g`` at every instant.  Khandekar et al.
+give a 5-approximation by splitting jobs into *narrow* (``w <= g/2``) and
+*wide* (``w > g/2``): wide jobs pairwise exclude each other on a machine, so
+they are packed as a unit-capacity instance, while FIRSTFIT packs the narrow
+jobs against the fractional capacity.
+
+This module implements that scheme plus the width-aware lower bounds:
+
+* mass: ``sum_j w_j * p_j / g``;
+* span: ``Sp(J)``;
+* width profile: ``integral of ceil(W(t)/g)`` where ``W(t)`` is the total
+  width active at ``t`` — machines busy at ``t`` is at least ``W(t)/g``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.intervals import span
+from ..core.jobs import TIME_EPS, Instance, Job
+from ..core.validation import require_capacity, require_interval_jobs
+
+__all__ = [
+    "WidthJob",
+    "WidthInstance",
+    "WidthBundle",
+    "WidthSchedule",
+    "width_mass_lower_bound",
+    "width_profile_lower_bound",
+    "first_fit_with_widths",
+    "khandekar_narrow_wide",
+]
+
+
+@dataclass(frozen=True)
+class WidthJob:
+    """An interval job with a machine-capacity demand."""
+
+    job: Job
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"job {self.job.id}: width must be positive")
+        if not self.job.is_interval:
+            raise ValueError(
+                f"job {self.job.id}: width model requires interval jobs"
+            )
+
+    @property
+    def window(self) -> tuple[float, float]:
+        return self.job.window
+
+
+@dataclass(frozen=True)
+class WidthInstance:
+    """A collection of width jobs."""
+
+    jobs: tuple[WidthJob, ...]
+
+    @classmethod
+    def from_tuples(
+        cls, quads: Iterable[tuple[float, float, float]]
+    ) -> "WidthInstance":
+        """Build from ``(release, deadline, width)`` triples (interval jobs)."""
+        out = []
+        for i, (r, d, w) in enumerate(quads):
+            out.append(WidthJob(Job(r, d, d - r, id=i), w))
+        return cls(tuple(out))
+
+    @classmethod
+    def uniform(cls, instance: Instance, width: float = 1.0) -> "WidthInstance":
+        """Lift a unit-width interval instance into the width model."""
+        require_interval_jobs(instance, "width model")
+        return cls(tuple(WidthJob(j, width) for j in instance.jobs))
+
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+    def max_width(self) -> float:
+        return max((wj.width for wj in self.jobs), default=0.0)
+
+    def total_width_at(self, t: float) -> float:
+        """``W(t)``: total width of jobs whose interval covers ``t``."""
+        return sum(
+            wj.width for wj in self.jobs if wj.job.is_live_at(t)
+        )
+
+    def event_points(self) -> list[float]:
+        pts = {wj.job.release for wj in self.jobs}
+        pts |= {wj.job.deadline for wj in self.jobs}
+        return sorted(pts)
+
+
+@dataclass(frozen=True)
+class WidthBundle:
+    """Width jobs sharing one machine."""
+
+    jobs: tuple[WidthJob, ...]
+
+    @property
+    def busy_time(self) -> float:
+        return span(wj.window for wj in self.jobs)
+
+    def peak_width(self) -> float:
+        """Largest total width active at any instant."""
+        events: list[tuple[float, float]] = []
+        for wj in self.jobs:
+            a, b = wj.window
+            events.append((a, wj.width))
+            events.append((b, -wj.width))
+        events.sort(key=lambda e: (e[0], e[1]))
+        depth = peak = 0.0
+        for _, delta in events:
+            depth += delta
+            peak = max(peak, depth)
+        return peak
+
+
+@dataclass(frozen=True)
+class WidthSchedule:
+    """A feasible width-model solution."""
+
+    instance: WidthInstance
+    g: int
+    bundles: tuple[WidthBundle, ...]
+
+    @property
+    def total_busy_time(self) -> float:
+        return sum(b.busy_time for b in self.bundles)
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.bundles)
+
+    def verify(self) -> None:
+        """Every job exactly once; per-machine width peak at most ``g``."""
+        seen: set[int] = set()
+        for k, b in enumerate(self.bundles):
+            for wj in b.jobs:
+                if wj.job.id in seen:
+                    raise AssertionError(
+                        f"job {wj.job.id} scheduled twice"
+                    )
+                seen.add(wj.job.id)
+            if b.peak_width() > self.g + 1e-9:
+                raise AssertionError(
+                    f"machine {k}: peak width {b.peak_width()} exceeds {self.g}"
+                )
+        missing = {wj.job.id for wj in self.instance.jobs} - seen
+        if missing:
+            raise AssertionError(f"jobs never scheduled: {sorted(missing)}")
+
+
+# ----------------------------------------------------------------------
+# Lower bounds
+# ----------------------------------------------------------------------
+def width_mass_lower_bound(instance: WidthInstance, g: int) -> float:
+    """``sum_j w_j p_j / g``."""
+    require_capacity(g)
+    return sum(wj.width * wj.job.length for wj in instance.jobs) / g
+
+
+def width_profile_lower_bound(instance: WidthInstance, g: int) -> float:
+    """``integral of ceil(W(t) / g) dt`` over the horizon."""
+    require_capacity(g)
+    pts = instance.event_points()
+    total = 0.0
+    for a, b in zip(pts, pts[1:]):
+        if b - a <= TIME_EPS:
+            continue
+        w = instance.total_width_at(0.5 * (a + b))
+        if w > TIME_EPS:
+            import math
+
+            total += math.ceil(w / g - 1e-9) * (b - a)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Algorithms
+# ----------------------------------------------------------------------
+def _fits(members: Sequence[WidthJob], candidate: WidthJob, g: float) -> bool:
+    """Would adding ``candidate`` keep peak width within ``g``?"""
+    window = candidate.window
+    events: list[tuple[float, float]] = [
+        (window[0], candidate.width),
+        (window[1], -candidate.width),
+    ]
+    for wj in members:
+        a, b = wj.window
+        if a < window[1] - TIME_EPS and b > window[0] + TIME_EPS:
+            events.append((max(a, window[0]), wj.width))
+            events.append((min(b, window[1]), -wj.width))
+    events.sort(key=lambda e: (e[0], e[1]))
+    depth = 0.0
+    for _, delta in events:
+        depth += delta
+        if depth > g + 1e-9:
+            return False
+    return True
+
+
+def first_fit_with_widths(
+    instance: WidthInstance, g: int, *, capacity: float | None = None
+) -> WidthSchedule:
+    """FIRSTFIT under width constraints (non-increasing length order)."""
+    require_capacity(g)
+    cap = g if capacity is None else capacity
+    ordered = sorted(
+        instance.jobs,
+        key=lambda wj: (-wj.job.length, wj.job.release, wj.job.id),
+    )
+    bundles: list[list[WidthJob]] = []
+    for wj in ordered:
+        if wj.width > cap + 1e-9:
+            raise ValueError(
+                f"job {wj.job.id}: width {wj.width} exceeds capacity {cap}"
+            )
+        for members in bundles:
+            if _fits(members, wj, cap):
+                members.append(wj)
+                break
+        else:
+            bundles.append([wj])
+    return WidthSchedule(
+        instance=instance,
+        g=g,
+        bundles=tuple(WidthBundle(tuple(b)) for b in bundles),
+    )
+
+
+def khandekar_narrow_wide(instance: WidthInstance, g: int) -> WidthSchedule:
+    """The narrow/wide split 5-approximation of Khandekar et al.
+
+    * wide jobs (``w > g/2``) pairwise exclude each other, so they are
+      packed as a unit-capacity interval instance (FIRSTFIT with one job at
+      a time per machine);
+    * narrow jobs (``w <= g/2``) are packed by width-aware FIRSTFIT.
+    """
+    require_capacity(g)
+    if instance.n == 0:
+        return WidthSchedule(instance, g, tuple())
+    if instance.max_width() > g + 1e-9:
+        raise ValueError("some job is wider than the machine capacity g")
+
+    narrow = [wj for wj in instance.jobs if wj.width <= g / 2 + 1e-12]
+    wide = [wj for wj in instance.jobs if wj.width > g / 2 + 1e-12]
+
+    bundles: list[WidthBundle] = []
+    if wide:
+        wide_schedule = first_fit_with_widths(
+            WidthInstance(tuple(wide)), g, capacity=float(g)
+        )
+        # wide jobs cannot share an instant; enforce by re-packing each
+        # bundle's overlap groups if FIRSTFIT co-located any (it cannot,
+        # since two wides exceed g, but the assertion documents it).
+        for b in wide_schedule.bundles:
+            assert b.peak_width() <= g + 1e-9
+        bundles.extend(wide_schedule.bundles)
+    if narrow:
+        narrow_schedule = first_fit_with_widths(
+            WidthInstance(tuple(narrow)), g
+        )
+        bundles.extend(narrow_schedule.bundles)
+
+    return WidthSchedule(instance=instance, g=g, bundles=tuple(bundles))

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``active``
+    Solve an active-time instance from a JSON/CSV file:
+    ``python -m repro active jobs.json --g 2 --algorithm rounding``
+``busy``
+    Solve a busy-time instance:
+    ``python -m repro busy jobs.csv --g 3 --algorithm greedy_tracking``
+``gadget``
+    Materialize one of the paper's constructions to a file:
+    ``python -m repro gadget figure3 --g 5 --out fig3.json``
+``bounds``
+    Print all lower bounds for a busy-time instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .activetime import (
+    exact_active_time,
+    minimal_feasible_schedule,
+    round_active_time,
+    unit_jobs_optimal_schedule,
+)
+from .analysis import format_table
+from .busytime import (
+    INTERVAL_ALGORITHMS,
+    best_lower_bound,
+    demand_profile_lower_bound,
+    exact_busy_time_interval,
+    mass_lower_bound,
+    schedule_flexible,
+    span_lower_bound,
+)
+from .analysis.experiments import EXPERIMENTS, run_all, run_experiment
+from .instances import figure1, figure3, figure6, figure8, figure9, figure10, lp_gap
+from .io import load_instance, save_instance
+
+__all__ = ["main"]
+
+ACTIVE_ALGORITHMS = ("rounding", "minimal", "exact", "unit")
+GADGETS = {
+    "figure1": lambda args: figure1(),
+    "figure3": lambda args: figure3(args.g),
+    "lp_gap": lambda args: lp_gap(args.g),
+    "figure6": lambda args: figure6(args.g, eps=args.eps),
+    "figure8": lambda args: figure8(eps=args.eps, eps_prime=args.eps / 2),
+    "figure9": lambda args: figure9(args.g, eps=args.eps),
+    "figure10": lambda args: figure10(args.g, eps=args.eps, eps_prime=args.eps / 2),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Active/busy-time scheduling (Chang-Khuller-Mukherjee, SPAA 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_active = sub.add_parser("active", help="solve an active-time instance")
+    p_active.add_argument("path", help="instance file (.json or .csv)")
+    p_active.add_argument("--g", type=int, required=True, help="slot capacity")
+    p_active.add_argument(
+        "--algorithm", choices=ACTIVE_ALGORITHMS, default="rounding"
+    )
+
+    p_busy = sub.add_parser("busy", help="solve a busy-time instance")
+    p_busy.add_argument("path", help="instance file (.json or .csv)")
+    p_busy.add_argument("--g", type=int, required=True, help="machine capacity")
+    p_busy.add_argument(
+        "--algorithm",
+        choices=sorted(INTERVAL_ALGORITHMS) + ["exact"],
+        default="greedy_tracking",
+    )
+
+    p_gadget = sub.add_parser("gadget", help="materialize a paper gadget")
+    p_gadget.add_argument("name", choices=sorted(GADGETS))
+    p_gadget.add_argument("--g", type=int, default=3)
+    p_gadget.add_argument("--eps", type=float, default=0.1)
+    p_gadget.add_argument("--out", help="write the instance to this file")
+
+    p_bounds = sub.add_parser("bounds", help="busy-time lower bounds")
+    p_bounds.add_argument("path", help="instance file (.json or .csv)")
+    p_bounds.add_argument("--g", type=int, required=True)
+
+    p_exp = sub.add_parser(
+        "experiments", help="run registered paper experiments"
+    )
+    p_exp.add_argument(
+        "keys", nargs="*", help=f"subset of {sorted(EXPERIMENTS)} (default all)"
+    )
+
+    return parser
+
+
+def _cmd_active(args) -> int:
+    instance = load_instance(args.path)
+    if args.algorithm == "rounding":
+        sol = round_active_time(instance, args.g)
+        schedule = sol.schedule
+        extra = f"LP bound {sol.lp_objective:.3f}, ratio {sol.ratio_vs_lp:.3f}"
+    elif args.algorithm == "minimal":
+        schedule = minimal_feasible_schedule(instance, args.g)
+        extra = "guarantee 3x"
+    elif args.algorithm == "unit":
+        schedule = unit_jobs_optimal_schedule(instance, args.g)
+        extra = "exact (unit jobs)"
+    else:
+        schedule = exact_active_time(instance, args.g)
+        extra = "exact (MILP)"
+    schedule.verify()
+    print(f"instance : {instance.describe()}")
+    print(f"algorithm: {args.algorithm} ({extra})")
+    print(f"active time: {schedule.cost} slots")
+    print(f"active slots: {list(schedule.active_slots)}")
+    return 0
+
+
+def _cmd_busy(args) -> int:
+    instance = load_instance(args.path)
+    if args.algorithm == "exact":
+        schedule = exact_busy_time_interval(instance, args.g)
+    else:
+        schedule = schedule_flexible(instance, args.g, algorithm=args.algorithm)
+    schedule.verify()
+    print(f"instance : {instance.describe()}")
+    print(f"algorithm: {args.algorithm}")
+    print(f"busy time: {schedule.total_busy_time:g}")
+    print(f"machines : {schedule.num_machines}")
+    rows = [
+        [k + 1, b.busy_time, len(b), b.job_ids()]
+        for k, b in enumerate(schedule.bundles)
+    ]
+    print(format_table("bundles", ["machine", "busy", "jobs", "ids"], rows))
+    return 0
+
+
+def _cmd_gadget(args) -> int:
+    gadget = GADGETS[args.name](args)
+    print(f"gadget  : {gadget.name} (g={gadget.g})")
+    print(f"instance: {gadget.instance.describe()}")
+    for key, value in gadget.facts.items():
+        print(f"  {key}: {value}")
+    if args.out:
+        save_instance(gadget.instance, args.out, gadget=gadget.name, g=gadget.g)
+        print(f"written to {args.out}")
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    instance = load_instance(args.path)
+    rows = [
+        ["mass  (Obs. 2)", mass_lower_bound(instance, args.g)],
+        ["span  (Obs. 3)", span_lower_bound(instance)],
+        ["profile (Obs. 4)", demand_profile_lower_bound(instance, args.g)],
+        ["best", best_lower_bound(instance, args.g)],
+    ]
+    print(
+        format_table(
+            f"lower bounds, {instance.describe()}, g={args.g}",
+            ["bound", "value"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    if args.keys:
+        for key in args.keys:
+            print(run_experiment(key))
+            print()
+    else:
+        print(run_all())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "active": _cmd_active,
+        "busy": _cmd_busy,
+        "gadget": _cmd_gadget,
+        "bounds": _cmd_bounds,
+        "experiments": _cmd_experiments,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ValueError, RuntimeError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Interval-graph machinery underlying the busy-time algorithms.
+
+The interval jobs of Section 4 induce an *interval graph* (vertices = jobs,
+edges = overlapping windows).  Several classical facts drive the paper's
+algorithms and analyses, and are exposed here as reusable primitives:
+
+* **max clique = peak demand** (Helly property: pairwise-overlapping
+  intervals share a point), which is why the demand profile is well-defined
+  segment-wise;
+* **greedy coloring by left endpoint is optimal** (uses exactly max-clique
+  colors) — the level structure in Kumar–Rudra-style algorithms;
+* a **maximum independent set** of an interval graph is a maximum *track*
+  by cardinality (Definition 14 with unit weights).
+
+All functions take plain :class:`~repro.core.jobs.Job` sequences (interval
+jobs) and tolerate touching windows (half-open semantics: ``[a,b)`` and
+``[b,c)`` do not overlap).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .jobs import TIME_EPS, Job
+
+__all__ = [
+    "overlap_edges",
+    "max_clique",
+    "greedy_color",
+    "chromatic_number",
+    "max_independent_set",
+    "is_bipartite_overlap",
+]
+
+
+def _overlaps(a: Job, b: Job) -> bool:
+    return (
+        a.release < b.deadline - TIME_EPS and b.release < a.deadline - TIME_EPS
+    )
+
+
+def overlap_edges(jobs: Sequence[Job]) -> list[tuple[int, int]]:
+    """All overlapping pairs, as ``(id, id)`` tuples with the smaller first."""
+    edges = []
+    for i, a in enumerate(jobs):
+        for b in jobs[i + 1 :]:
+            if _overlaps(a, b):
+                edges.append((min(a.id, b.id), max(a.id, b.id)))
+    return edges
+
+
+def max_clique(jobs: Sequence[Job]) -> list[Job]:
+    """A maximum clique — the jobs live at the point of peak raw demand.
+
+    By the Helly property of intervals this is exact, found with one sweep.
+    """
+    if not jobs:
+        return []
+    events: list[tuple[float, int, Job]] = []
+    for j in jobs:
+        events.append((j.release, 1, j))
+        events.append((j.deadline, -1, j))
+    events.sort(key=lambda e: (e[0], e[1]))
+    live: dict[int, Job] = {}
+    best: list[Job] = []
+    for _, kind, job in events:
+        if kind == 1:
+            live[job.id] = job
+            if len(live) > len(best):
+                best = list(live.values())
+        else:
+            live.pop(job.id, None)
+    return best
+
+
+def greedy_color(jobs: Sequence[Job]) -> dict[int, int]:
+    """Optimal interval-graph coloring: lowest free color by left endpoint.
+
+    Returns ``job id -> color`` (0-based); the number of colors equals the
+    max clique size.  Each color class is a *track* (pairwise disjoint).
+    """
+    order = sorted(jobs, key=lambda j: (j.release, j.deadline, j.id))
+    # colors of jobs still live, as (deadline, color) min-heap substitute
+    active: list[tuple[float, int]] = []  # (deadline, color) sorted ad hoc
+    free: list[int] = []
+    next_color = 0
+    coloring: dict[int, int] = {}
+    for job in order:
+        # retire finished jobs, freeing their colors
+        still = []
+        for d, c in active:
+            if d <= job.release + TIME_EPS:
+                free.append(c)
+            else:
+                still.append((d, c))
+        active = still
+        if free:
+            free.sort()
+            color = free.pop(0)
+        else:
+            color = next_color
+            next_color += 1
+        coloring[job.id] = color
+        active.append((job.deadline, color))
+    return coloring
+
+
+def chromatic_number(jobs: Sequence[Job]) -> int:
+    """Colors used by the optimal greedy — equals the max clique size."""
+    coloring = greedy_color(jobs)
+    return 1 + max(coloring.values()) if coloring else 0
+
+
+def max_independent_set(jobs: Sequence[Job]) -> list[Job]:
+    """A maximum-cardinality set of pairwise disjoint jobs.
+
+    The classic earliest-deadline-first sweep (exact for interval graphs);
+    the *weighted* variant lives in :func:`repro.busytime.tracks.longest_track`.
+    """
+    chosen: list[Job] = []
+    last_end = -float("inf")
+    for job in sorted(jobs, key=lambda j: (j.deadline, j.release, j.id)):
+        if job.release >= last_end - TIME_EPS:
+            chosen.append(job)
+            last_end = job.deadline
+    return chosen
+
+
+def is_bipartite_overlap(jobs: Sequence[Job]) -> bool:
+    """True when the overlap graph is 2-colorable.
+
+    For interval graphs this is equivalent to max clique <= 2 (triangle-free
+    chordal graphs are forests) — the structural fact behind the per-level
+    parity split in the 2-approximations.
+    """
+    adj: dict[int, list[int]] = {j.id: [] for j in jobs}
+    for u, v in overlap_edges(jobs):
+        adj[u].append(v)
+        adj[v].append(u)
+    color: dict[int, int] = {}
+    for j in jobs:
+        if j.id in color:
+            continue
+        color[j.id] = 0
+        queue = deque([j.id])
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                if v not in color:
+                    color[v] = 1 - color[u]
+                    queue.append(v)
+                elif color[v] == color[u]:
+                    return False
+    return True

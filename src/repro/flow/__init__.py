@@ -1,0 +1,18 @@
+"""Max-flow substrate: Dinic solver and the Figure-2 feasibility network."""
+
+from .dinic import Dinic, MaxFlowResult
+from .feasibility import (
+    ActiveTimeFeasibility,
+    extract_assignment,
+    is_feasible_slot_set,
+)
+from .network import NamedFlowNetwork
+
+__all__ = [
+    "ActiveTimeFeasibility",
+    "Dinic",
+    "MaxFlowResult",
+    "NamedFlowNetwork",
+    "extract_assignment",
+    "is_feasible_slot_set",
+]

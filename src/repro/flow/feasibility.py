@@ -1,0 +1,126 @@
+"""The feasibility network ``G_feas`` of Figure 2 and fast repeated probes.
+
+Given an integral active-time instance, a capacity ``g`` and a set ``A`` of
+active slots, the paper observes that a feasible (integral, slot-preemptive)
+schedule exists if and only if the maximum ``s -> v`` flow on the network
+
+    source --(p_j)--> job j --(1)--> slot t --(g or 0)--> sink
+
+has value ``P = sum_j p_j``, where slot-to-sink edges carry capacity ``g``
+exactly on active slots and ``0`` elsewhere.
+
+Both approximation algorithms in Sections 2–3 call this probe many times with
+different active sets, so :class:`ActiveTimeFeasibility` builds the network
+once and only flips slot capacities between probes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..core.jobs import Instance
+from ..core.validation import require_capacity, require_integral
+from .dinic import Dinic
+
+__all__ = ["ActiveTimeFeasibility", "is_feasible_slot_set", "extract_assignment"]
+
+
+class ActiveTimeFeasibility:
+    """Reusable feasibility oracle for the active-time problem.
+
+    Parameters
+    ----------
+    instance:
+        Integral instance (releases, deadlines, lengths all integers).
+    g:
+        Machine capacity: at most ``g`` distinct jobs per active slot.
+
+    Notes
+    -----
+    Slots are numbered ``1..T`` with ``T = max_j d_j`` (slot ``t`` is the unit
+    ``[t-1, t)``).  Probes accept any iterable of slot numbers.
+    """
+
+    def __init__(self, instance: Instance, g: int):
+        require_integral(instance, "feasibility network")
+        require_capacity(g)
+        self.instance = instance
+        self.g = g
+        self.T = instance.horizon
+        self.P = int(round(instance.total_length))
+
+        n = instance.n
+        # node layout: 0 = source, 1..n = jobs, n+1..n+T = slots, n+T+1 = sink
+        self._source = 0
+        self._sink = n + self.T + 1
+        net = Dinic(n + self.T + 2)
+
+        self._job_edge: dict[int, int] = {}
+        # handles of job->slot unit edges keyed by (job_id, slot)
+        self._unit_edge: dict[tuple[int, int], int] = {}
+        self._slot_edge: list[int] = [-1] * (self.T + 1)  # 1-based by slot
+
+        for pos, job in enumerate(instance.jobs):
+            jn = 1 + pos
+            self._job_edge[job.id] = net.add_edge(self._source, jn, job.integral_length())
+            for t in job.feasible_slots():
+                self._unit_edge[(job.id, t)] = net.add_edge(jn, n + t, 1)
+        for t in range(1, self.T + 1):
+            self._slot_edge[t] = net.add_edge(n + t, self._sink, 0)
+
+        self._net = net
+
+    # ------------------------------------------------------------------
+    def _configure(self, active_slots: Iterable[int]) -> None:
+        for t in range(1, self.T + 1):
+            self._net.set_capacity(self._slot_edge[t], 0)
+        for t in active_slots:
+            if 1 <= t <= self.T:
+                self._net.set_capacity(self._slot_edge[t], self.g)
+            # slots outside [1, T] can never host a job; ignore silently so
+            # callers may pass padded candidate sets.
+
+    def max_flow_value(self, active_slots: Iterable[int]) -> int:
+        """Maximum schedulable job mass using only the given active slots."""
+        self._configure(active_slots)
+        return self._net.max_flow(self._source, self._sink).value
+
+    def is_feasible(self, active_slots: Iterable[int]) -> bool:
+        """True when *all* jobs fit into the given active slots."""
+        return self.max_flow_value(active_slots) == self.P
+
+    def assignment(
+        self, active_slots: Iterable[int]
+    ) -> dict[int, list[int]] | None:
+        """An integral assignment ``job id -> sorted list of slots``, if feasible.
+
+        Returns ``None`` when the slot set cannot accommodate all jobs.  Each
+        job appears in exactly ``p_j`` slots, each slot hosts at most ``g``
+        jobs, and no job occupies a slot twice — the schedule properties of
+        Section 2.
+        """
+        self._configure(active_slots)
+        result = self._net.max_flow(self._source, self._sink)
+        if result.value != self.P:
+            return None
+        out: dict[int, list[int]] = {j.id: [] for j in self.instance.jobs}
+        for (job_id, t), handle in self._unit_edge.items():
+            if result.flows[handle] > 0:
+                out[job_id].append(t)
+        for slots in out.values():
+            slots.sort()
+        return out
+
+
+def is_feasible_slot_set(
+    instance: Instance, g: int, active_slots: Iterable[int]
+) -> bool:
+    """One-shot feasibility probe (builds the network, solves once)."""
+    return ActiveTimeFeasibility(instance, g).is_feasible(active_slots)
+
+
+def extract_assignment(
+    instance: Instance, g: int, active_slots: Iterable[int]
+) -> dict[int, list[int]] | None:
+    """One-shot assignment extraction (``None`` when infeasible)."""
+    return ActiveTimeFeasibility(instance, g).assignment(active_slots)

@@ -1,0 +1,55 @@
+"""Small helpers for building flow networks with named nodes.
+
+Thin layer over :class:`repro.flow.dinic.Dinic` used by the feasibility
+network (Figure 2) and the Alicherry–Bhatia track-extraction network
+(Appendix A.2), both of which want to address nodes by meaningful keys
+instead of raw indices.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .dinic import Dinic, MaxFlowResult
+
+__all__ = ["NamedFlowNetwork"]
+
+
+class NamedFlowNetwork:
+    """A Dinic network whose nodes are addressed by hashable keys."""
+
+    def __init__(self) -> None:
+        self._net = Dinic(0)
+        self._index: dict[Hashable, int] = {}
+
+    def node(self, key: Hashable) -> int:
+        """Return the index for ``key``, creating the node on first use."""
+        idx = self._index.get(key)
+        if idx is None:
+            idx = self._net.add_node()
+            self._index[key] = idx
+        return idx
+
+    def has_node(self, key: Hashable) -> bool:
+        """True when ``key`` has been materialized."""
+        return key in self._index
+
+    def add_edge(self, u: Hashable, v: Hashable, capacity: int) -> int:
+        """Add an edge between named nodes, returning the edge handle."""
+        return self._net.add_edge(self.node(u), self.node(v), capacity)
+
+    def set_capacity(self, handle: int, capacity: int) -> None:
+        """Reconfigure an edge capacity (applies to subsequent solves)."""
+        self._net.set_capacity(handle, capacity)
+
+    def max_flow(self, source: Hashable, sink: Hashable) -> MaxFlowResult:
+        """Solve max-flow between two named nodes."""
+        return self._net.max_flow(self.node(source), self.node(sink))
+
+    @property
+    def raw(self) -> Dinic:
+        """The underlying :class:`Dinic` solver."""
+        return self._net
+
+    def __len__(self) -> int:
+        return self._net.n

@@ -1,0 +1,131 @@
+"""Realistic workload-trace generators.
+
+The uniform families in :mod:`repro.instances.generators` are ideal for
+property testing; benchmarking against *plausible* workloads needs the
+shapes real systems produce.  Three classic patterns, all seeded and
+integral (so every solver in the library applies):
+
+* :func:`diurnal_trace` — day/night demand cycle (the VM-consolidation
+  motivation from the paper's introduction);
+* :func:`bursty_trace` — Poisson background plus synchronized bursts
+  (incident retries, cron storms);
+* :func:`heavy_tailed_trace` — bounded-Pareto job lengths (the
+  many-mice/few-elephants shape of batch clusters).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.jobs import Instance, Job
+
+__all__ = ["diurnal_trace", "bursty_trace", "heavy_tailed_trace"]
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def diurnal_trace(
+    n: int,
+    *,
+    day_hours: int = 24,
+    peak_hour: int = 14,
+    spread: float = 4.0,
+    max_length: int = 4,
+    max_slack: int = 6,
+    rng: np.random.Generator | int | None = None,
+) -> Instance:
+    """Releases concentrated around a daily peak (wrapped Gaussian).
+
+    Jobs released near the peak get tight windows (interactive); off-peak
+    jobs get loose windows (batch) — the structure that makes consolidation
+    profitable.
+    """
+    gen = _rng(rng)
+    jobs: list[Job] = []
+    for i in range(n):
+        hour = int(round(gen.normal(peak_hour, spread))) % day_hours
+        distance = min(abs(hour - peak_hour), day_hours - abs(hour - peak_hour))
+        off_peak = distance > spread
+        length = int(gen.integers(1, max_length + 1))
+        slack = (
+            int(gen.integers(2, max_slack + 1))
+            if off_peak
+            else int(gen.integers(0, 3))
+        )
+        deadline = min(hour + length + slack, day_hours + max_length + max_slack)
+        jobs.append(Job(hour, deadline, length, id=i,
+                        label="batch" if off_peak else "interactive"))
+    return Instance(tuple(jobs))
+
+
+def bursty_trace(
+    n: int,
+    *,
+    horizon: int = 40,
+    burst_count: int = 3,
+    burst_fraction: float = 0.5,
+    max_length: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> Instance:
+    """Uniform background arrivals plus synchronized bursts.
+
+    A ``burst_fraction`` of the jobs arrive in ``burst_count`` tight clusters
+    (same release, short windows) — the demand spikes that stress the
+    capacity constraint and the charging machinery.
+    """
+    gen = _rng(rng)
+    if not 0 <= burst_fraction <= 1:
+        raise ValueError("burst_fraction must be in [0, 1]")
+    burst_times = sorted(
+        int(gen.integers(0, max(1, horizon - max_length - 2)))
+        for _ in range(max(1, burst_count))
+    )
+    jobs: list[Job] = []
+    for i in range(n):
+        length = int(gen.integers(1, max_length + 1))
+        if gen.uniform() < burst_fraction:
+            release = int(gen.choice(burst_times))
+            slack = int(gen.integers(0, 2))
+            label = "burst"
+        else:
+            release = int(gen.integers(0, horizon - length))
+            slack = int(gen.integers(1, 8))
+            label = "background"
+        deadline = min(release + length + slack, horizon + max_length + 8)
+        jobs.append(Job(release, deadline, length, id=i, label=label))
+    return Instance(tuple(jobs))
+
+
+def heavy_tailed_trace(
+    n: int,
+    *,
+    horizon: int = 60,
+    alpha: float = 1.3,
+    max_length: int = 16,
+    rng: np.random.Generator | int | None = None,
+) -> Instance:
+    """Bounded-Pareto job lengths: many short jobs, a few very long ones.
+
+    ``alpha`` is the Pareto shape (smaller = heavier tail); lengths are
+    clipped to ``[1, max_length]`` and rounded to integers.
+    """
+    gen = _rng(rng)
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    jobs: list[Job] = []
+    for i in range(n):
+        raw = (1.0 - gen.uniform()) ** (-1.0 / alpha)  # Pareto(1, alpha)
+        length = int(min(max_length, max(1, round(raw))))
+        slack = int(gen.integers(0, max(2, length)))
+        release = int(gen.integers(0, max(1, horizon - length - slack)))
+        jobs.append(
+            Job(release, release + length + slack, length, id=i,
+                label="elephant" if length > max_length // 2 else "mouse")
+        )
+    return Instance(tuple(jobs))

@@ -1,0 +1,121 @@
+"""Instance and schedule serialization (JSON and CSV).
+
+The CLI and downstream users need to move instances in and out of the
+library.  Two formats:
+
+* **JSON** — lossless: jobs with ids and labels, plus optional metadata;
+* **CSV** — three or four columns (``release,deadline,length[,id]``) with an
+  optional header row, for spreadsheet-sourced traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from pathlib import Path
+from typing import Any
+
+from .core.jobs import Instance, Job
+
+__all__ = [
+    "instance_to_json",
+    "instance_from_json",
+    "save_instance",
+    "load_instance",
+    "instance_to_csv",
+    "instance_from_csv",
+]
+
+
+def instance_to_json(instance: Instance, **metadata: Any) -> str:
+    """Serialize an instance (and optional metadata) to a JSON string."""
+    payload = {
+        "format": "repro-instance-v1",
+        "metadata": metadata,
+        "jobs": [
+            {
+                "id": j.id,
+                "release": j.release,
+                "deadline": j.deadline,
+                "length": j.length,
+                **({"label": j.label} if j.label else {}),
+            }
+            for j in instance.jobs
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def instance_from_json(text: str) -> Instance:
+    """Parse an instance from :func:`instance_to_json` output."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-instance-v1":
+        raise ValueError(
+            f"unrecognized format marker {payload.get('format')!r}"
+        )
+    jobs = tuple(
+        Job(
+            release=rec["release"],
+            deadline=rec["deadline"],
+            length=rec["length"],
+            id=rec["id"],
+            label=rec.get("label", ""),
+        )
+        for rec in payload["jobs"]
+    )
+    return Instance(jobs)
+
+
+def save_instance(instance: Instance, path: str | Path, **metadata: Any) -> None:
+    """Write an instance to a ``.json`` or ``.csv`` file (by extension)."""
+    p = Path(path)
+    if p.suffix == ".json":
+        p.write_text(instance_to_json(instance, **metadata))
+    elif p.suffix == ".csv":
+        p.write_text(instance_to_csv(instance))
+    else:
+        raise ValueError(f"unsupported extension {p.suffix!r} (json/csv)")
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance from a ``.json`` or ``.csv`` file (by extension)."""
+    p = Path(path)
+    if p.suffix == ".json":
+        return instance_from_json(p.read_text())
+    if p.suffix == ".csv":
+        return instance_from_csv(p.read_text())
+    raise ValueError(f"unsupported extension {p.suffix!r} (json/csv)")
+
+
+def instance_to_csv(instance: Instance) -> str:
+    """Serialize to CSV with a header row."""
+    buf = _io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["release", "deadline", "length", "id"])
+    for j in instance.jobs:
+        writer.writerow([j.release, j.deadline, j.length, j.id])
+    return buf.getvalue()
+
+
+def instance_from_csv(text: str) -> Instance:
+    """Parse CSV rows ``release,deadline,length[,id]`` (header optional)."""
+    jobs: list[Job] = []
+    next_id = 0
+    for row_num, row in enumerate(csv.reader(_io.StringIO(text))):
+        if not row or not "".join(row).strip():
+            continue
+        try:
+            values = [float(cell) for cell in row[:4]]
+        except ValueError:
+            if row_num == 0:
+                continue  # header
+            raise ValueError(f"malformed CSV row {row_num + 1}: {row}")
+        if len(values) < 3:
+            raise ValueError(f"CSV row {row_num + 1} needs >= 3 columns")
+        jid = int(values[3]) if len(values) >= 4 else next_id
+        jobs.append(
+            Job(release=values[0], deadline=values[1], length=values[2], id=jid)
+        )
+        next_id = max(next_id, jid) + 1
+    return Instance(tuple(jobs))

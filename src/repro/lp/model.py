@@ -1,0 +1,175 @@
+"""Sparse construction of the active-time integer program and its relaxation.
+
+Section 3 of the paper introduces the natural IP::
+
+    min  sum_t y_t
+    s.t. x_{t,j} <= y_t                       for all slots t, jobs j
+         sum_j x_{t,j} <= g * y_t             for all slots t
+         sum_t x_{t,j} >= p_j                 for all jobs j
+         y_t, x_{t,j} in {0, 1};  x_{t,j} = 0 outside j's window
+
+``LP1`` relaxes the integrality to ``0 <= y_t <= 1`` and ``x_{t,j} >= 0``.
+This module builds the constraint matrices once, in scipy sparse (COO) form,
+so they can be handed to either ``linprog`` (relaxation) or ``milp`` (exact).
+
+Variable layout: ``y_t`` occupies column ``t - 1`` for ``t = 1..T``; the
+``x_{t,j}`` variables for feasible ``(job, slot)`` pairs follow, in job-major
+order.  Infeasible pairs are simply never materialized (equivalent to pinning
+them to zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..core.jobs import Instance
+from ..core.validation import require_capacity, require_integral
+
+__all__ = ["ActiveTimeModel", "build_active_time_model"]
+
+
+@dataclass(frozen=True)
+class ActiveTimeModel:
+    """The assembled constraint system ``A_ub @ z <= b_ub`` plus metadata.
+
+    Attributes
+    ----------
+    instance, g:
+        The inputs the model was built from.
+    T:
+        Number of slots; ``y`` variables are columns ``0..T-1``.
+    num_vars:
+        Total number of columns (``T`` + number of feasible pairs).
+    a_ub, b_ub:
+        Inequality system covering all three constraint families.
+    objective:
+        Cost vector (1 on every ``y`` column, 0 on every ``x`` column).
+    x_index:
+        Column of ``x_{t,j}`` keyed by ``(job_id, slot)``.
+    """
+
+    instance: Instance
+    g: int
+    T: int
+    num_vars: int
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    objective: np.ndarray
+    x_index: dict[tuple[int, int], int]
+
+    @property
+    def num_y(self) -> int:
+        """Number of slot-indicator variables."""
+        return self.T
+
+    def y_column(self, t: int) -> int:
+        """Column index of ``y_t`` (slots are 1-based)."""
+        if not 1 <= t <= self.T:
+            raise IndexError(f"slot {t} outside 1..{self.T}")
+        return t - 1
+
+    def variable_bounds(
+        self, *, integral: bool = False
+    ) -> list[tuple[float, float]]:
+        """Bounds per column: ``y in [0,1]``, ``x in [0,1]``.
+
+        The ``x <= 1`` cap is implied by ``x <= y <= 1`` but keeping it
+        explicit makes the polytope bounded for the solver.  ``integral`` is
+        accepted for symmetry with the MILP path (bounds are identical).
+        """
+        return [(0.0, 1.0)] * self.num_vars
+
+    def extract(
+        self, z: np.ndarray
+    ) -> tuple[np.ndarray, dict[tuple[int, int], float]]:
+        """Split a solution vector into ``(y, x)`` with 1-based ``y`` slots.
+
+        Returns
+        -------
+        y:
+            Array of length ``T + 1``; entry ``t`` is ``y_t`` (index 0 unused).
+        x:
+            Mapping ``(job_id, slot) -> value`` for nonzero assignments.
+        """
+        y = np.zeros(self.T + 1)
+        y[1:] = z[: self.T]
+        x = {
+            key: float(z[col])
+            for key, col in self.x_index.items()
+            if z[col] > 1e-12
+        }
+        return y, x
+
+
+def build_active_time_model(instance: Instance, g: int) -> ActiveTimeModel:
+    """Assemble the Section-3 IP/LP for ``instance`` with capacity ``g``."""
+    require_integral(instance, "active-time LP")
+    require_capacity(g)
+    T = instance.horizon
+
+    x_index: dict[tuple[int, int], int] = {}
+    col = T
+    for job in instance.jobs:
+        for t in job.feasible_slots():
+            x_index[(job.id, t)] = col
+            col += 1
+    num_vars = col
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    b: list[float] = []
+    row = 0
+
+    # (1) x_{t,j} - y_t <= 0 for every feasible pair
+    for (job_id, t), xc in x_index.items():
+        rows += [row, row]
+        cols += [xc, t - 1]
+        vals += [1.0, -1.0]
+        b.append(0.0)
+        row += 1
+
+    # (2) sum_j x_{t,j} - g y_t <= 0 for every slot
+    per_slot: dict[int, list[int]] = {}
+    for (job_id, t), xc in x_index.items():
+        per_slot.setdefault(t, []).append(xc)
+    for t in range(1, T + 1):
+        members = per_slot.get(t, [])
+        for xc in members:
+            rows.append(row)
+            cols.append(xc)
+            vals.append(1.0)
+        rows.append(row)
+        cols.append(t - 1)
+        vals.append(-float(g))
+        b.append(0.0)
+        row += 1
+
+    # (3) -sum_t x_{t,j} <= -p_j for every job (coverage)
+    for job in instance.jobs:
+        for t in job.feasible_slots():
+            rows.append(row)
+            cols.append(x_index[(job.id, t)])
+            vals.append(-1.0)
+        b.append(-float(job.integral_length()))
+        row += 1
+
+    a_ub = sparse.coo_matrix(
+        (vals, (rows, cols)), shape=(row, num_vars)
+    ).tocsr()
+    objective = np.zeros(num_vars)
+    objective[:T] = 1.0
+
+    return ActiveTimeModel(
+        instance=instance,
+        g=g,
+        T=T,
+        num_vars=num_vars,
+        a_ub=a_ub,
+        b_ub=np.asarray(b),
+        objective=objective,
+        x_index=x_index,
+    )

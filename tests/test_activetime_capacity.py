@@ -1,0 +1,78 @@
+"""Tests for capacity analysis (repro.activetime.capacity)."""
+
+import pytest
+
+from repro.activetime.capacity import (
+    capacity_frontier,
+    minimum_feasible_capacity,
+    window_pressure_bound,
+)
+from repro.core import Instance
+from repro.flow import is_feasible_slot_set
+from repro.instances import random_active_time_instance
+
+
+class TestWindowPressure:
+    def test_single_job(self):
+        inst = Instance.from_tuples([(0, 2, 2)])
+        assert window_pressure_bound(inst) == 1
+
+    def test_stacked_rigid_jobs(self):
+        inst = Instance.from_tuples([(0, 2, 2)] * 5)
+        assert window_pressure_bound(inst) == 5
+
+    def test_tight_pair_window(self):
+        # 3 unit jobs in a single slot: pressure 3
+        inst = Instance.from_tuples([(0, 1, 1)] * 3)
+        assert window_pressure_bound(inst) == 3
+
+    def test_empty(self):
+        assert window_pressure_bound(Instance(tuple())) == 1
+
+
+class TestMinimumCapacity:
+    def test_definition(self, rng):
+        for _ in range(10):
+            inst = random_active_time_instance(7, 9, rng=rng)
+            g = minimum_feasible_capacity(inst)
+            slots = range(1, inst.horizon + 1)
+            assert is_feasible_slot_set(inst, g, slots)
+            if g > 1:
+                assert not is_feasible_slot_set(inst, g - 1, slots)
+
+    def test_at_least_pressure_bound(self, rng):
+        for _ in range(8):
+            inst = random_active_time_instance(6, 8, rng=rng)
+            assert minimum_feasible_capacity(inst) >= window_pressure_bound(
+                inst
+            )
+
+    def test_disjoint_jobs_need_one(self):
+        inst = Instance.from_tuples([(0, 2, 2), (3, 5, 2)])
+        assert minimum_feasible_capacity(inst) == 1
+
+    def test_empty(self):
+        assert minimum_feasible_capacity(Instance(tuple())) == 1
+
+
+class TestFrontier:
+    def test_non_increasing(self, rng):
+        inst = random_active_time_instance(8, 10, rng=rng)
+        frontier = capacity_frontier(inst, g_max=6)
+        costs = [c for _, c in frontier]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_starts_at_min_capacity(self, rng):
+        inst = random_active_time_instance(6, 8, rng=rng)
+        frontier = capacity_frontier(inst, g_max=4)
+        assert frontier[0][0] == minimum_feasible_capacity(inst)
+
+    def test_matches_exact_solver(self, rng):
+        from repro.activetime import exact_active_time
+
+        inst = random_active_time_instance(6, 8, rng=rng)
+        for g, cost in capacity_frontier(inst, g_max=4):
+            assert cost == exact_active_time(inst, g).cost
+
+    def test_empty(self):
+        assert capacity_frontier(Instance(tuple())) == []

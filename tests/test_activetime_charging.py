@@ -1,0 +1,133 @@
+"""Tests for the dependent/trio/filler charging ledger (Lemma 6 machinery)."""
+
+import pytest
+
+from repro.activetime import ChargingError, ChargingLedger
+
+
+class TestDependents:
+    def test_first_barely_becomes_dependent(self):
+        ledger = ChargingLedger()
+        ledger.register_full(5)
+        rec = ledger.charge_barely(7, 0.3)
+        assert rec.kind == "dependent"
+        assert rec.target == 5
+
+    def test_earliest_full_preferred(self):
+        ledger = ChargingLedger()
+        ledger.register_full(9)
+        ledger.register_full(3)
+        rec = ledger.charge_barely(10, 0.2)
+        assert rec.target == 3
+
+    def test_each_full_at_most_one_dependent(self):
+        ledger = ChargingLedger()
+        ledger.register_full(3)
+        ledger.register_full(5)
+        assert ledger.charge_barely(6, 0.3).target == 3
+        assert ledger.charge_barely(7, 0.3).target == 5
+
+
+class TestTrios:
+    def test_trio_formed_when_masses_suffice(self):
+        ledger = ChargingLedger()
+        ledger.register_full(3)
+        ledger.charge_barely(4, 0.3)          # dependent
+        rec = ledger.charge_barely(6, 0.25)   # 0.3 + 0.25 >= 0.5 -> trio
+        assert rec.kind == "trio"
+        assert rec.target == 3
+
+    def test_trio_requires_combined_half(self):
+        ledger = ChargingLedger()
+        ledger.register_full(3)
+        ledger.charge_barely(4, 0.1)
+        with pytest.raises(ChargingError):
+            ledger.charge_barely(6, 0.2)  # 0.1 + 0.2 < 0.5, nothing else
+
+    def test_full_in_trio_not_reused(self):
+        ledger = ChargingLedger()
+        ledger.register_full(3)
+        ledger.charge_barely(4, 0.3)
+        ledger.charge_barely(6, 0.3)  # trio completes slot 3
+        with pytest.raises(ChargingError):
+            ledger.charge_barely(8, 0.4)
+
+
+class TestFillers:
+    def test_filler_on_half_open(self):
+        ledger = ChargingLedger()
+        ledger.register_half(4, 0.7)
+        rec = ledger.charge_barely(6, 0.4)  # 0.7 + 0.4 >= 1
+        assert rec.kind == "filler"
+        assert rec.target == 4
+
+    def test_filler_needs_combined_one(self):
+        ledger = ChargingLedger()
+        ledger.register_half(4, 0.55)
+        with pytest.raises(ChargingError):
+            ledger.charge_barely(6, 0.3)
+
+    def test_half_at_most_one_filler(self):
+        ledger = ChargingLedger()
+        ledger.register_half(4, 0.8)
+        ledger.register_half(5, 0.9)
+        assert ledger.charge_barely(6, 0.45).target == 4
+        assert ledger.charge_barely(7, 0.45).target == 5
+
+    def test_priority_full_before_half(self):
+        ledger = ChargingLedger()
+        ledger.register_half(2, 0.9)
+        ledger.register_full(4)
+        rec = ledger.charge_barely(6, 0.4)
+        assert rec.kind == "dependent"
+
+
+class TestCertificate:
+    def test_counts_and_mass(self):
+        ledger = ChargingLedger()
+        ledger.register_full(1)
+        ledger.register_full(2)
+        ledger.register_half(3, 0.6)
+        ledger.charge_barely(4, 0.3)   # dependent on 1
+        ledger.charge_barely(5, 0.3)   # dependent on 2
+        ledger.charge_barely(6, 0.4)   # trio with slot 1 (0.3 + 0.4 >= .5)
+        ledger.charge_barely(7, 0.45)  # filler of 3
+        assert ledger.opened_count() == 7
+        assert ledger.charged_mass() == pytest.approx(
+            1 + 1 + 0.6 + 0.3 + 0.3 + 0.4 + 0.45
+        )
+        assert ledger.certificate_ratio() <= 2.0
+        ledger.verify()
+
+    def test_empty_ledger(self):
+        ledger = ChargingLedger()
+        assert ledger.opened_count() == 0
+        assert ledger.certificate_ratio() == 0.0
+        ledger.verify()
+
+    def test_verify_rejects_bad_half(self):
+        ledger = ChargingLedger()
+        ledger.register_half(2, 0.3)  # below 1/2: invalid registration
+        with pytest.raises(ChargingError):
+            ledger.verify()
+
+    def test_ratio_never_exceeds_two_for_legal_sequences(self, rng):
+        """Randomized charging sequences keep the certificate below 2."""
+        for _ in range(30):
+            ledger = ChargingLedger()
+            slot = 1
+            for _ in range(int(rng.integers(2, 15))):
+                kind = rng.integers(0, 3)
+                if kind == 0:
+                    ledger.register_full(slot)
+                elif kind == 1:
+                    ledger.register_half(slot, float(rng.uniform(0.5, 0.999)))
+                else:
+                    try:
+                        ledger.charge_barely(
+                            slot, float(rng.uniform(0.01, 0.499))
+                        )
+                    except ChargingError:
+                        pass
+                slot += 1
+            ledger.verify()

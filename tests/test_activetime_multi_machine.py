@@ -1,0 +1,126 @@
+"""Tests for multi-machine active time (repro.activetime.multi_machine)."""
+
+import pytest
+
+from repro.activetime import exact_active_time
+from repro.activetime.multi_machine import (
+    is_feasible_multiplicity,
+    multi_machine_exact,
+    multi_machine_lazy_greedy,
+    multi_machine_lp_bound,
+)
+from repro.core import Instance
+from repro.instances import random_active_time_instance
+
+
+class TestFeasibility:
+    def test_zero_everywhere_infeasible(self, tiny_instance):
+        assert not is_feasible_multiplicity(
+            tiny_instance, 2, [0] * tiny_instance.horizon
+        )
+
+    def test_all_on_feasible(self, tiny_instance):
+        assert is_feasible_multiplicity(
+            tiny_instance, 2, [2] * tiny_instance.horizon
+        )
+
+    def test_wrong_length_rejected(self, tiny_instance):
+        with pytest.raises(ValueError, match="multiplicities"):
+            is_feasible_multiplicity(tiny_instance, 2, [1])
+
+    def test_capacity_scales_with_k(self):
+        # 4 unit jobs in one slot, g = 2: needs k = 2 machines there
+        inst = Instance.from_tuples([(0, 1, 1)] * 4)
+        assert not is_feasible_multiplicity(inst, 2, [1])
+        assert is_feasible_multiplicity(inst, 2, [2])
+
+
+class TestExact:
+    def test_m1_reduces_to_single_machine(self, rng):
+        for _ in range(8):
+            inst = random_active_time_instance(6, 8, rng=rng)
+            g = int(rng.integers(1, 4))
+            try:
+                single = exact_active_time(inst, g)
+            except RuntimeError:
+                with pytest.raises(RuntimeError):
+                    multi_machine_exact(inst, g, 1)
+                continue
+            multi = multi_machine_exact(inst, g, 1)
+            assert multi.cost == single.cost
+
+    def test_more_machines_never_hurt(self, rng):
+        inst = random_active_time_instance(8, 8, rng=rng)
+        costs = []
+        for m in (1, 2, 3):
+            try:
+                costs.append(multi_machine_exact(inst, 2, m).cost)
+            except RuntimeError:
+                costs.append(None)
+        known = [c for c in costs if c is not None]
+        assert known == sorted(known, reverse=True)
+
+    def test_machines_unlock_infeasible_instances(self):
+        # 4 unit jobs in one slot, g = 2: infeasible on 1 machine, cost 2 on 2
+        inst = Instance.from_tuples([(0, 1, 1)] * 4)
+        with pytest.raises(RuntimeError):
+            multi_machine_exact(inst, 2, 1)
+        s = multi_machine_exact(inst, 2, 2)
+        assert s.cost == 2
+        assert s.multiplicity == (2,)
+
+    def test_verify_runs(self, tiny_instance):
+        s = multi_machine_exact(tiny_instance, 2, 2)
+        s.verify()
+
+    def test_empty(self):
+        s = multi_machine_exact(Instance(tuple()), 1, 1)
+        assert s.cost == 0
+
+
+class TestLpBound:
+    def test_lower_bounds_exact(self, rng):
+        for _ in range(6):
+            inst = random_active_time_instance(6, 8, rng=rng)
+            try:
+                exact = multi_machine_exact(inst, 2, 2)
+            except RuntimeError:
+                continue
+            assert multi_machine_lp_bound(inst, 2, 2) <= exact.cost + 1e-6
+
+    def test_empty(self):
+        assert multi_machine_lp_bound(Instance(tuple()), 1, 1) == 0.0
+
+
+class TestLazyGreedy:
+    def test_feasible_and_above_exact(self, rng):
+        for _ in range(6):
+            inst = random_active_time_instance(6, 8, rng=rng)
+            m = int(rng.integers(1, 4))
+            try:
+                greedy = multi_machine_lazy_greedy(inst, 2, m)
+            except RuntimeError:
+                continue
+            greedy.verify()
+            exact = multi_machine_exact(inst, 2, m)
+            assert greedy.cost >= exact.cost
+
+    def test_no_slot_lowerable(self, rng):
+        """Greedy output is multiplicity-minimal slot by slot."""
+        inst = random_active_time_instance(6, 8, rng=rng)
+        try:
+            s = multi_machine_lazy_greedy(inst, 2, 2)
+        except RuntimeError:
+            pytest.skip("infeasible draw")
+        ks = list(s.multiplicity)
+        for t in range(len(ks)):
+            if ks[t] == 0:
+                continue
+            trial = list(ks)
+            trial[t] -= 1
+            assert not is_feasible_multiplicity(inst, 2, trial)
+
+    def test_infeasible_raises(self):
+        inst = Instance.from_tuples([(0, 1, 1)] * 4)
+        with pytest.raises(RuntimeError):
+            multi_machine_lazy_greedy(inst, 2, 1)

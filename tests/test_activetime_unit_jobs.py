@@ -1,0 +1,59 @@
+"""Tests for the unit-job exact algorithm (Chang–Gabow–Khuller special case)."""
+
+import pytest
+
+from repro.activetime import exact_active_time, unit_jobs_optimal_schedule
+from repro.core import Instance
+from repro.instances import random_unit_instance
+
+
+class TestBasics:
+    def test_simple(self):
+        inst = Instance.from_tuples([(0, 2, 1), (0, 2, 1), (1, 3, 1)])
+        s = unit_jobs_optimal_schedule(inst, 2)
+        s.verify()
+        assert s.cost == exact_active_time(inst, 2).cost
+
+    def test_rejects_non_unit(self, tiny_instance):
+        with pytest.raises(ValueError, match="unit"):
+            unit_jobs_optimal_schedule(tiny_instance, 2)
+
+    def test_infeasible_raises(self):
+        inst = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        with pytest.raises(ValueError):
+            unit_jobs_optimal_schedule(inst, 1)
+
+    def test_singleton_windows_force_slots(self):
+        inst = Instance.from_tuples([(0, 1, 1), (2, 3, 1), (4, 5, 1)])
+        s = unit_jobs_optimal_schedule(inst, 3)
+        assert s.cost == 3  # disjoint singleton windows cannot share slots
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("g", [1, 2, 3])
+    def test_matches_exact_milp(self, g, rng):
+        matched = 0
+        for _ in range(20):
+            n = int(rng.integers(2, 12))
+            T = int(rng.integers(2, 10))
+            inst = random_unit_instance(n, T, rng=rng)
+            try:
+                exact = exact_active_time(inst, g)
+            except RuntimeError:
+                continue
+            s = unit_jobs_optimal_schedule(inst, g)
+            s.verify()
+            assert s.cost == exact.cost, (
+                [(j.release, j.deadline) for j in inst.jobs],
+                g,
+            )
+            matched += 1
+        assert matched >= 8
+
+    def test_clustered_deadlines(self):
+        # g+1 jobs sharing a 2-slot window plus a straggler
+        inst = Instance.from_tuples(
+            [(0, 2, 1)] * 3 + [(1, 4, 1)]
+        )
+        s = unit_jobs_optimal_schedule(inst, 2)
+        assert s.cost == exact_active_time(inst, 2).cost == 2

@@ -1,0 +1,56 @@
+"""Tests for the ratio harness and report formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    RatioSample,
+    collect_ratios,
+    format_series,
+    format_table,
+    summarize,
+)
+
+
+class TestRatioSample:
+    def test_ratio(self):
+        assert RatioSample("x", 3.0, 2.0).ratio == 1.5
+
+    def test_zero_baseline(self):
+        assert RatioSample("x", 0.0, 0.0).ratio == 0.0
+        assert math.isinf(RatioSample("x", 1.0, 0.0).ratio)
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        samples = collect_ratios("alg", [(2, 1), (3, 2), (4, 4)])
+        s = summarize(samples)
+        assert s.count == 3
+        assert s.worst == 2.0
+        assert s.best == 1.0
+        assert s.mean == pytest.approx((2 + 1.5 + 1) / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_row_format(self):
+        s = summarize(collect_ratios("alg", [(2, 1)]))
+        row = s.row()
+        assert "alg" in row and "n=1" in row
+
+
+class TestReportFormatting:
+    def test_table_alignment(self):
+        out = format_table(
+            "Title", ["a", "bb"], [[1, 2.34567], ["xyz", 3]]
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert set(lines[1]) == {"="}
+        assert "2.346" in out
+
+    def test_series(self):
+        out = format_series("S", "g", "ratio", [(2, 1.5), (4, 1.8)])
+        assert "g" in out and "ratio" in out and "1.8" in out

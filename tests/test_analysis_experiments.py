@@ -1,0 +1,46 @@
+"""Tests for the experiment registry (repro.analysis.experiments)."""
+
+import pytest
+
+from repro.analysis import EXPERIMENTS, run_all, run_experiment
+
+
+class TestRegistry:
+    def test_keys_present(self):
+        assert {"E2", "E4", "E7", "E8", "E9", "E11"} <= set(EXPERIMENTS)
+
+    def test_each_has_title_and_runner(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.title
+            assert callable(exp.runner)
+
+    @pytest.mark.parametrize("key", sorted(EXPERIMENTS))
+    def test_each_runs_and_formats(self, key):
+        out = run_experiment(key)
+        assert key in out
+        assert "\n" in out  # a table, not a one-liner
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_run_all_concatenates(self):
+        out = run_all()
+        for key in EXPERIMENTS:
+            assert key in out
+
+
+class TestCliIntegration:
+    def test_experiments_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "integrality gap" in out
+
+    def test_experiments_all(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "E2", "E9"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out and "E9" in out

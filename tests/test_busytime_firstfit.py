@@ -1,0 +1,91 @@
+"""Tests for the FIRSTFIT baseline (Flammini et al., 4-approximation)."""
+
+import pytest
+
+from repro.busytime import (
+    best_lower_bound,
+    exact_busy_time_interval,
+    first_fit,
+    fits_in_bundle,
+)
+from repro.core import Instance, Job
+from repro.instances import random_interval_instance, random_proper_instance
+
+
+class TestFitsInBundle:
+    def test_empty_bundle(self):
+        assert fits_in_bundle([], Job(0, 1, 1, id=0), g=1)
+
+    def test_capacity_respected(self):
+        members = [Job(0, 2, 2, id=0), Job(0, 2, 2, id=1)]
+        assert not fits_in_bundle(members, Job(1, 3, 2, id=2), g=2)
+        assert fits_in_bundle(members, Job(1, 3, 2, id=2), g=3)
+
+    def test_disjoint_always_fits(self):
+        members = [Job(0, 2, 2, id=0), Job(0, 2, 2, id=1)]
+        assert fits_in_bundle(members, Job(5, 6, 1, id=2), g=2)
+
+    def test_peak_inside_job_window_counts(self):
+        members = [Job(0, 4, 4, id=0), Job(1, 2, 1, id=1)]
+        # peak 2 inside [0,4); adding a job over [1,2) needs g >= 3
+        assert not fits_in_bundle(members, Job(1, 2, 1, id=2), g=2)
+        assert fits_in_bundle(members, Job(2, 3, 1, id=2), g=2)
+
+
+class TestFirstFit:
+    def test_verifies(self, interval_instance):
+        s = first_fit(interval_instance, 2)
+        s.verify()
+
+    def test_orders(self, interval_instance):
+        for order in ("length", "release", "input"):
+            s = first_fit(interval_instance, 2, order=order)
+            s.verify()
+
+    def test_unknown_order(self, interval_instance):
+        with pytest.raises(ValueError):
+            first_fit(interval_instance, 2, order="magic")
+
+    def test_single_bundle_when_capacity_huge(self, interval_instance):
+        s = first_fit(interval_instance, 100)
+        assert s.num_machines == 1
+
+    def test_g1_groups_disjoint_jobs(self):
+        inst = Instance.from_intervals([(0, 1), (2, 3), (1, 2)])
+        s = first_fit(inst, 1)
+        assert s.num_machines == 1
+        assert s.total_busy_time == pytest.approx(3.0)
+
+    def test_within_4x_lower_bound(self, rng):
+        for _ in range(20):
+            inst = random_interval_instance(10, 18.0, rng=rng)
+            g = int(rng.integers(1, 5))
+            s = first_fit(inst, g)
+            s.verify()
+            assert s.total_busy_time <= 4 * best_lower_bound(inst, g) + 1e-6
+
+    def test_within_4x_opt_small(self, rng):
+        for _ in range(8):
+            inst = random_interval_instance(6, 10.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            opt = exact_busy_time_interval(inst, g).total_busy_time
+            s = first_fit(inst, g)
+            assert s.total_busy_time <= 4 * opt + 1e-6
+
+    def test_release_order_on_proper_instances_2x(self, rng):
+        """Footnote 1: greedy by release is 2-approximate on proper instances."""
+        for _ in range(10):
+            inst = random_proper_instance(8, 15.0, rng=rng)
+            if not inst.is_proper():
+                continue
+            g = int(rng.integers(1, 4))
+            s = first_fit(inst, g, order="release")
+            assert s.total_busy_time <= 2 * best_lower_bound(inst, g) * 2 + 1e-6
+            # (profile lower-bounds OPT; release-greedy <= 2 OPT <= 2 * ratio)
+
+    def test_deterministic(self, interval_instance):
+        a = first_fit(interval_instance, 2)
+        b = first_fit(interval_instance, 2)
+        assert [x.job_ids() for x in a.bundles] == [
+            x.job_ids() for x in b.bundles
+        ]

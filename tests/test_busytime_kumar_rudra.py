@@ -1,0 +1,116 @@
+"""Tests for the Kumar–Rudra-style level/parity 2-approximation."""
+
+import pytest
+
+from repro.busytime import (
+    assign_levels,
+    demand_profile_lower_bound,
+    exact_busy_time_interval,
+    kumar_rudra,
+    pad_to_multiple_of_g,
+    two_color_level,
+)
+from repro.core import Instance, Job, coverage_counts
+from repro.instances import figure8, random_interval_instance
+
+
+class TestAssignLevels:
+    def test_every_job_assigned(self, rng):
+        for _ in range(10):
+            inst = random_interval_instance(8, 15.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            padded, _ = pad_to_multiple_of_g(inst, g)
+            levels = assign_levels(padded, g)
+            assert set(levels) == {j.id for j in padded.jobs}
+            assert min(levels.values()) >= 1
+
+    def test_at_most_two_per_level_pointwise(self, rng):
+        for _ in range(15):
+            inst = random_interval_instance(10, 18.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            padded, _ = pad_to_multiple_of_g(inst, g)
+            levels = assign_levels(padded, g)
+            by_level: dict[int, list] = {}
+            for job in padded.jobs:
+                by_level.setdefault(levels[job.id], []).append(job)
+            for members in by_level.values():
+                cov = coverage_counts([j.window for j in members])
+                assert max((c for _, c in cov), default=0) <= 2
+
+    def test_levels_at_most_max_raw_demand(self, rng):
+        for _ in range(10):
+            inst = random_interval_instance(8, 15.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            padded, _ = pad_to_multiple_of_g(inst, g)
+            from repro.busytime import compute_demand_profile
+
+            levels = assign_levels(padded, g)
+            assert max(levels.values()) <= compute_demand_profile(
+                padded, 1
+            ).max_raw
+
+
+class TestTwoColoring:
+    def test_disjoint_jobs_any_coloring(self):
+        jobs = [Job(0, 1, 1, id=0), Job(2, 3, 1, id=1)]
+        coloring = two_color_level(jobs)
+        assert set(coloring) == {0, 1}
+
+    def test_overlapping_pair_separated(self):
+        jobs = [Job(0, 2, 2, id=0), Job(1, 3, 2, id=1)]
+        coloring = two_color_level(jobs)
+        assert coloring[0] != coloring[1]
+
+    def test_star_overlap_bipartite(self):
+        center = Job(0, 10, 10, id=0)
+        leaves = [Job(2 * i + 1, 2 * i + 2, 1, id=i + 1) for i in range(3)]
+        coloring = two_color_level([center] + leaves)
+        for leaf in leaves:
+            assert coloring[leaf.id] != coloring[0]
+
+    def test_triple_overlap_raises(self):
+        jobs = [Job(0, 2, 2, id=0), Job(0, 2, 2, id=1), Job(0, 2, 2, id=2)]
+        with pytest.raises(RuntimeError, match="bipartite"):
+            two_color_level(jobs)
+
+
+class TestKumarRudra:
+    def test_verifies(self, interval_instance):
+        s = kumar_rudra(interval_instance, 2)
+        s.verify()
+
+    def test_within_2x_profile(self, rng):
+        for _ in range(25):
+            inst = random_interval_instance(12, 20.0, rng=rng)
+            g = int(rng.integers(1, 5))
+            s = kumar_rudra(inst, g)
+            s.verify()
+            assert s.total_busy_time <= 2 * demand_profile_lower_bound(
+                inst, g
+            ) + 1e-6
+
+    def test_within_2x_opt_small(self, rng):
+        for _ in range(6):
+            inst = random_interval_instance(6, 10.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            opt = exact_busy_time_interval(inst, g).total_busy_time
+            s = kumar_rudra(inst, g)
+            assert s.total_busy_time <= 2 * opt + 1e-6
+
+    def test_no_dummies_in_output(self, rng):
+        from repro.busytime.demand_profile import DUMMY_LABEL
+
+        inst = random_interval_instance(8, 15.0, rng=rng)
+        s = kumar_rudra(inst, 3)
+        for b in s.bundles:
+            for j in b.jobs:
+                assert j.label != DUMMY_LABEL
+
+    def test_figure8(self):
+        gad = figure8()
+        s = kumar_rudra(gad.instance, gad.g)
+        s.verify()
+        assert s.total_busy_time <= 2 * gad.facts["opt_busy_time"] + 1e-9
+
+    def test_empty(self):
+        assert kumar_rudra(Instance(tuple()), 2).total_busy_time == 0.0

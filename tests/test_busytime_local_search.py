@@ -1,0 +1,100 @@
+"""Tests for local-search post-optimization (repro.busytime.local_search)."""
+
+import pytest
+
+from repro.busytime import (
+    BusyTimeSchedule,
+    exact_busy_time_interval,
+    first_fit,
+    greedy_tracking,
+)
+from repro.busytime.local_search import (
+    improve_schedule,
+    merge_bundles_once,
+    move_jobs_once,
+)
+from repro.core import Instance, Job
+from repro.instances import figure8, random_interval_instance
+
+
+class TestMergeOnce:
+    def test_merges_disjoint_bundles(self):
+        groups = [[Job(0, 1, 1, id=0)], [Job(2, 3, 1, id=1)]]
+        assert merge_bundles_once(groups, 2)
+        assert len(groups) == 1
+
+    def test_respects_capacity(self):
+        groups = [[Job(0, 2, 2, id=0)], [Job(0, 2, 2, id=1)]]
+        assert merge_bundles_once(groups, 2)  # two overlap, g=2 OK
+        groups2 = [
+            [Job(0, 2, 2, id=0), Job(0, 2, 2, id=1)],
+            [Job(0, 2, 2, id=2)],
+        ]
+        assert not merge_bundles_once(groups2, 2)  # would need g=3
+
+    def test_nothing_to_merge(self):
+        groups = [[Job(0, 2, 2, id=0), Job(0, 2, 2, id=1)]]
+        assert not merge_bundles_once(groups, 2)
+
+
+class TestMoveOnce:
+    def test_moves_job_to_cover_gap(self):
+        # bundle A: long + far-away straggler; bundle B overlaps straggler
+        groups = [
+            [Job(0, 2, 2, id=0), Job(8, 9, 1, id=1)],
+            [Job(8, 10, 2, id=2)],
+        ]
+        assert move_jobs_once(groups, 2)
+        cost = sum(
+            __import__("repro").core.span(j.window for j in g)
+            for g in groups
+        )
+        assert cost == pytest.approx(4.0)  # straggler absorbed by B
+
+    def test_no_beneficial_move(self):
+        groups = [[Job(0, 2, 2, id=0)], [Job(5, 7, 2, id=1)]]
+        assert not move_jobs_once(groups, 1)
+
+
+class TestImproveSchedule:
+    def test_never_worse(self, rng):
+        for _ in range(12):
+            inst = random_interval_instance(12, 18.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            for algo in (first_fit, greedy_tracking):
+                before = algo(inst, g)
+                after = improve_schedule(before)
+                after.verify()
+                assert after.total_busy_time <= before.total_busy_time + 1e-9
+
+    def test_never_below_opt(self, rng):
+        for _ in range(6):
+            inst = random_interval_instance(7, 12.0, rng=rng)
+            g = int(rng.integers(1, 3))
+            opt = exact_busy_time_interval(inst, g).total_busy_time
+            improved = improve_schedule(first_fit(inst, g))
+            assert improved.total_busy_time >= opt - 1e-6
+
+    def test_repairs_figure8_adversarial_bundling(self):
+        """Local search recovers the Figure-8 trap back to the optimum."""
+        gad = figure8(eps=0.2, eps_prime=0.1)
+        groups = [
+            [gad.instance.job_by_id(j) for j in b]
+            for b in gad.witness["adversarial_bundles"]
+        ]
+        bad = BusyTimeSchedule.from_bundle_jobs(gad.instance, gad.g, groups)
+        improved = improve_schedule(bad)
+        improved.verify()
+        assert improved.total_busy_time == pytest.approx(
+            gad.facts["opt_busy_time"]
+        )
+
+    def test_pinned_starts_untouched(self, rng):
+        inst = random_interval_instance(8, 12.0, rng=rng)
+        before = first_fit(inst, 2)
+        after = improve_schedule(before)
+        assert after.starts == before.starts
+
+    def test_empty_schedule(self):
+        s = BusyTimeSchedule.from_bundle_jobs(Instance(tuple()), 2, [])
+        assert improve_schedule(s).total_busy_time == 0.0

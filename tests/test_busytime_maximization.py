@@ -1,0 +1,89 @@
+"""Tests for throughput maximization under a busy-time budget."""
+
+import pytest
+
+from repro.busytime import (
+    exact_busy_time_interval,
+    greedy_throughput,
+    maximize_throughput_exact,
+)
+from repro.core import Instance
+from repro.instances import random_interval_instance
+
+
+class TestExactMaximization:
+    def test_zero_budget_admits_nothing(self, interval_instance):
+        s = maximize_throughput_exact(interval_instance, 2, 0.0)
+        assert s.instance.n == 0
+        assert s.total_busy_time == 0.0
+
+    def test_full_budget_admits_all(self, rng):
+        for _ in range(6):
+            inst = random_interval_instance(6, 10.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            opt = exact_busy_time_interval(inst, g).total_busy_time
+            s = maximize_throughput_exact(inst, g, opt + 1e-6)
+            assert s.instance.n == inst.n
+            s.verify()
+
+    def test_budget_respected(self, rng):
+        for _ in range(6):
+            inst = random_interval_instance(7, 12.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            budget = float(rng.uniform(0.5, 4.0))
+            s = maximize_throughput_exact(inst, g, budget)
+            s.verify()
+            assert s.total_busy_time <= budget + 1e-6
+
+    def test_monotone_in_budget(self, rng):
+        inst = random_interval_instance(8, 12.0, rng=rng)
+        counts = [
+            maximize_throughput_exact(inst, 2, b).instance.n
+            for b in (1.0, 2.0, 4.0, 8.0, 100.0)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == inst.n
+
+    def test_negative_budget_rejected(self, interval_instance):
+        with pytest.raises(ValueError):
+            maximize_throughput_exact(interval_instance, 2, -1.0)
+
+    def test_empty(self):
+        s = maximize_throughput_exact(Instance(tuple()), 2, 5.0)
+        assert s.instance.n == 0
+
+
+class TestGreedyThroughput:
+    def test_budget_respected(self, rng):
+        for _ in range(8):
+            inst = random_interval_instance(8, 12.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            budget = float(rng.uniform(0.5, 5.0))
+            s = greedy_throughput(inst, g, budget)
+            s.verify()
+            assert s.total_busy_time <= budget + 1e-6
+
+    def test_never_beats_exact(self, rng):
+        for _ in range(8):
+            inst = random_interval_instance(6, 10.0, rng=rng)
+            g = int(rng.integers(1, 3))
+            budget = float(rng.uniform(1.0, 5.0))
+            greedy = greedy_throughput(inst, g, budget)
+            exact = maximize_throughput_exact(inst, g, budget)
+            assert greedy.instance.n <= exact.instance.n
+
+    def test_large_budget_admits_all(self, rng):
+        inst = random_interval_instance(8, 12.0, rng=rng)
+        s = greedy_throughput(inst, 2, 1e9)
+        assert s.instance.n == inst.n
+
+    def test_zero_budget(self, interval_instance):
+        s = greedy_throughput(interval_instance, 2, 0.0)
+        assert s.instance.n == 0
+
+    def test_stacking_is_free(self):
+        """Identical jobs after the first cost zero increment."""
+        inst = Instance.from_intervals([(0, 1)] * 3)
+        s = greedy_throughput(inst, 3, 1.0)
+        assert s.instance.n == 3
+        assert s.total_busy_time == pytest.approx(1.0)

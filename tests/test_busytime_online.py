@@ -1,0 +1,85 @@
+"""Tests for the online busy-time extension (Shalom et al. setting)."""
+
+import pytest
+
+from repro.busytime import (
+    arrival_order,
+    exact_busy_time_interval,
+    nested_adversarial_instance,
+    online_best_fit,
+    online_first_fit,
+)
+from repro.core import Instance
+from repro.instances import random_interval_instance
+
+
+class TestArrivalOrder:
+    def test_sorted_by_release(self, interval_instance):
+        order = arrival_order(interval_instance)
+        releases = [j.release for j in order]
+        assert releases == sorted(releases)
+
+    def test_ties_broken_by_input_order(self):
+        inst = Instance.from_intervals([(0, 2), (0, 1), (0, 3)])
+        order = arrival_order(inst)
+        assert [j.id for j in order] == [0, 1, 2]
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", [online_first_fit, online_best_fit])
+    def test_verifies(self, policy, rng):
+        for _ in range(8):
+            inst = random_interval_instance(10, 16.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            s = policy(inst, g)
+            s.verify()
+
+    @pytest.mark.parametrize("policy", [online_first_fit, online_best_fit])
+    def test_never_below_opt(self, policy, rng):
+        for _ in range(6):
+            inst = random_interval_instance(7, 12.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            opt = exact_busy_time_interval(inst, g).total_busy_time
+            assert policy(inst, g).total_busy_time >= opt - 1e-6
+
+    def test_first_fit_matches_offline_release_order(self, rng):
+        """Online FF = offline FIRSTFIT with release ordering by definition."""
+        from repro.busytime import first_fit
+
+        inst = random_interval_instance(12, 18.0, rng=rng)
+        online = online_first_fit(inst, 2)
+        offline = first_fit(inst, 2, order="release")
+        assert online.total_busy_time == pytest.approx(
+            offline.total_busy_time
+        )
+
+    def test_best_fit_prefers_filling(self):
+        # one existing long job; a short nested job should join it rather
+        # than open a new machine
+        inst = Instance.from_intervals([(0, 4), (1, 2)])
+        s = online_best_fit(inst, 2)
+        assert s.num_machines == 1
+
+    def test_empty(self):
+        assert online_first_fit(Instance(tuple()), 2).total_busy_time == 0
+
+
+class TestNestedFamily:
+    def test_structure(self):
+        inst = nested_adversarial_instance(3)
+        assert inst.n == 9
+        assert inst.is_clique()
+        assert inst.is_laminar()
+
+    def test_levels_override(self):
+        inst = nested_adversarial_instance(2, levels=4)
+        assert inst.n == 8
+
+    def test_policies_feasible_on_family(self):
+        for g in (2, 3):
+            inst = nested_adversarial_instance(g)
+            for policy in (online_first_fit, online_best_fit):
+                s = policy(inst, g)
+                s.verify()
+                opt = exact_busy_time_interval(inst, g).total_busy_time
+                assert s.total_busy_time >= opt - 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the footnote-1 special-case algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.busytime import (
+    best_lower_bound,
+    clique_greedy,
+    exact_busy_time_interval,
+    proper_clique_exact,
+    proper_greedy,
+)
+from repro.core import Instance, Job
+from repro.instances import random_clique_instance, random_proper_instance
+
+
+def make_proper_clique(rng, n: int) -> Instance:
+    """Sorted lefts in [0,4), sorted rights in (5,9]: proper + clique."""
+    lefts = np.sort(rng.uniform(0, 4, n))
+    rights = np.sort(rng.uniform(5, 9, n))
+    return Instance(
+        tuple(
+            Job(float(a), float(b), float(b - a), id=i)
+            for i, (a, b) in enumerate(zip(lefts, rights))
+        )
+    )
+
+
+class TestProperGreedy:
+    def test_verifies(self, rng):
+        inst = random_proper_instance(10, 18.0, rng=rng)
+        s = proper_greedy(inst, 2)
+        s.verify()
+
+    def test_rejects_improper(self):
+        inst = Instance.from_intervals([(0, 10), (2, 4)])
+        with pytest.raises(ValueError, match="proper"):
+            proper_greedy(inst, 2)
+
+    def test_within_2x_on_proper(self, rng):
+        for _ in range(10):
+            inst = random_proper_instance(8, 15.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            s = proper_greedy(inst, g)
+            opt = exact_busy_time_interval(inst, g).total_busy_time
+            assert s.total_busy_time <= 2 * opt + 1e-6
+
+
+class TestCliqueGreedy:
+    def test_verifies(self, clique_instance):
+        s = clique_greedy(clique_instance, 2)
+        s.verify()
+
+    def test_rejects_non_clique(self):
+        inst = Instance.from_intervals([(0, 1), (5, 6)])
+        with pytest.raises(ValueError, match="clique"):
+            clique_greedy(inst, 2)
+
+    def test_groups_of_g(self, rng):
+        inst = random_clique_instance(10, 20.0, rng=rng)
+        s = clique_greedy(inst, 3)
+        sizes = sorted(len(b) for b in s.bundles)
+        assert max(sizes) <= 3
+        assert sum(sizes) == 10
+
+    def test_within_2x_on_cliques(self, rng):
+        for _ in range(10):
+            inst = random_clique_instance(8, 15.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            s = clique_greedy(inst, g)
+            opt = exact_busy_time_interval(inst, g).total_busy_time
+            assert s.total_busy_time <= 2 * opt + 1e-6
+
+    def test_empty(self):
+        assert clique_greedy(Instance(tuple()), 2).total_busy_time == 0
+
+
+class TestProperCliqueExact:
+    def test_matches_milp(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(2, 8))
+            g = int(rng.integers(1, 4))
+            inst = make_proper_clique(rng, n)
+            dp = proper_clique_exact(inst, g)
+            dp.verify()
+            milp = exact_busy_time_interval(inst, g)
+            assert dp.total_busy_time == pytest.approx(
+                milp.total_busy_time, abs=1e-6
+            )
+
+    def test_bundles_consecutive(self, rng):
+        inst = make_proper_clique(rng, 7)
+        s = proper_clique_exact(inst, 3)
+        order = {j.id: k for k, j in enumerate(
+            sorted(inst.jobs, key=lambda j: j.release)
+        )}
+        for b in s.bundles:
+            positions = sorted(order[j.id] for j in b.jobs)
+            assert positions == list(range(positions[0], positions[-1] + 1))
+
+    def test_rejects_non_proper_clique(self):
+        inst = Instance.from_intervals([(0, 10), (2, 4)])  # clique, not proper
+        with pytest.raises(ValueError):
+            proper_clique_exact(inst, 2)
+
+    def test_g1_each_job_alone_or_grouped(self, rng):
+        inst = make_proper_clique(rng, 5)
+        s = proper_clique_exact(inst, 1)
+        # with g = 1 and a clique, no two jobs may share a machine
+        assert s.num_machines == 5
+
+    def test_dominates_clique_greedy(self, rng):
+        for _ in range(8):
+            inst = make_proper_clique(rng, int(rng.integers(2, 9)))
+            g = int(rng.integers(1, 4))
+            exact = proper_clique_exact(inst, g).total_busy_time
+            greedy = clique_greedy(inst, g).total_busy_time
+            assert exact <= greedy + 1e-9
+
+    def test_empty(self):
+        assert proper_clique_exact(Instance(tuple()), 2).total_busy_time == 0

@@ -1,0 +1,60 @@
+"""Tests for schedule statistics (repro.busytime.stats)."""
+
+import pytest
+
+from repro.busytime import greedy_tracking
+from repro.busytime.stats import compute_stats
+from repro.core import Instance
+from repro.instances import random_interval_instance
+
+
+class TestComputeStats:
+    def test_empty(self):
+        from repro.busytime import BusyTimeSchedule
+
+        s = BusyTimeSchedule.from_bundle_jobs(Instance(tuple()), 2, [])
+        stats = compute_stats(s)
+        assert stats.machines == 0
+        assert stats.utilization == 0.0
+
+    def test_perfect_utilization(self):
+        # g identical jobs on one machine: utilization exactly 1
+        inst = Instance.from_intervals([(0, 2)] * 3)
+        s = greedy_tracking(inst, 3)
+        stats = compute_stats(s)
+        assert stats.machines == 1
+        assert stats.utilization == pytest.approx(1.0)
+        assert stats.fragmentation == pytest.approx(1.0)
+
+    def test_utilization_bounds(self, rng):
+        for _ in range(10):
+            inst = random_interval_instance(10, 16.0, rng=rng)
+            g = int(rng.integers(1, 4))
+            stats = compute_stats(greedy_tracking(inst, g))
+            assert 0.0 < stats.utilization <= 1.0 + 1e-9
+
+    def test_totals_match_schedule(self, interval_instance):
+        s = greedy_tracking(interval_instance, 2)
+        stats = compute_stats(s)
+        assert stats.total_busy_time == pytest.approx(s.total_busy_time)
+        assert stats.machines == s.num_machines
+
+    def test_fragmentation_counts_blocks(self):
+        # one machine with two disjoint jobs -> 2 busy blocks
+        inst = Instance.from_intervals([(0, 1), (3, 4)])
+        s = greedy_tracking(inst, 2)
+        stats = compute_stats(s)
+        assert stats.busy_blocks == 2
+        assert stats.fragmentation == pytest.approx(2.0)
+
+    def test_mean_max_consistency(self, rng):
+        inst = random_interval_instance(12, 18.0, rng=rng)
+        stats = compute_stats(greedy_tracking(inst, 2))
+        assert stats.mean_machine_busy <= stats.max_machine_busy + 1e-9
+
+    def test_rows_render(self, interval_instance):
+        from repro.analysis import format_table
+
+        stats = compute_stats(greedy_tracking(interval_instance, 2))
+        table = format_table("stats", ["metric", "value"], stats.rows())
+        assert "utilization" in table

@@ -1,0 +1,80 @@
+"""Tests for the unbounded-capacity placement (OPT_inf, Theorem 4 substitute)."""
+
+import pytest
+
+from repro.busytime import opt_infinity, pin_instance
+from repro.core import Instance, span
+from repro.instances import random_flexible_instance, random_interval_instance
+
+
+class TestOptInfinity:
+    def test_interval_instance_is_span(self, interval_instance):
+        placement = opt_infinity(interval_instance)
+        assert placement.busy_time == pytest.approx(
+            span(j.window for j in interval_instance.jobs)
+        )
+        for j in interval_instance.jobs:
+            assert placement.starts[j.id] == j.release
+
+    def test_flexible_consolidation(self):
+        inst = Instance.from_tuples([(0, 5, 2), (0, 5, 2), (1, 6, 2)])
+        placement = opt_infinity(inst)
+        assert placement.busy_time == pytest.approx(2.0)
+
+    def test_empty(self):
+        placement = opt_infinity(Instance(tuple()))
+        assert placement.busy_time == 0.0
+        assert placement.starts == {}
+
+    def test_rejects_non_integral_flexible(self):
+        from repro.core import Job
+
+        inst = Instance((Job(0.0, 2.5, 1.0, id=0),))
+        with pytest.raises(ValueError, match="pin_instance"):
+            opt_infinity(inst)
+
+    def test_placement_lower_bounds_interval_span(self, rng):
+        """OPT_inf never exceeds the span of any specific placement."""
+        for _ in range(8):
+            inst = random_flexible_instance(6, 10, rng=rng)
+            placement = opt_infinity(inst)
+            # pin everything as early as possible, compare spans
+            early = pin_instance(
+                inst, {j.id: j.release for j in inst.jobs}
+            )
+            assert placement.busy_time <= span(
+                j.window for j in early.jobs
+            ) + 1e-6
+
+    def test_busy_time_matches_pinned_span(self, rng):
+        for _ in range(8):
+            inst = random_flexible_instance(6, 10, rng=rng)
+            placement = opt_infinity(inst)
+            pinned = pin_instance(inst, placement.starts)
+            assert span(j.window for j in pinned.jobs) == pytest.approx(
+                placement.busy_time, abs=1e-6
+            )
+
+
+class TestPinInstance:
+    def test_pins_to_intervals(self, rng):
+        inst = random_flexible_instance(6, 10, rng=rng)
+        pinned = pin_instance(inst, {j.id: j.release for j in inst.jobs})
+        assert pinned.all_interval
+        for orig, new in zip(inst.jobs, pinned.jobs):
+            assert new.id == orig.id
+            assert new.length == orig.length
+
+    def test_missing_start_raises(self, tiny_instance):
+        with pytest.raises(KeyError):
+            pin_instance(tiny_instance, {0: 0})
+
+    def test_invalid_start_raises(self, tiny_instance):
+        starts = {j.id: float(j.deadline) for j in tiny_instance.jobs}
+        with pytest.raises(ValueError):
+            pin_instance(tiny_instance, starts)
+
+    def test_interval_jobs_roundtrip(self, rng):
+        inst = random_interval_instance(6, 10.0, rng=rng)
+        pinned = pin_instance(inst, {j.id: j.release for j in inst.jobs})
+        assert pinned == inst

@@ -1,0 +1,131 @@
+"""Tests for the width/demand generalization (Khandekar et al.)."""
+
+import pytest
+
+from repro.busytime import (
+    WidthInstance,
+    WidthJob,
+    first_fit_with_widths,
+    khandekar_narrow_wide,
+    width_mass_lower_bound,
+    width_profile_lower_bound,
+)
+from repro.core import Job
+from repro.instances import random_interval_instance
+
+
+def random_width_instance(rng, n, g):
+    base = random_interval_instance(n, 18.0, rng=rng)
+    return WidthInstance(
+        tuple(
+            WidthJob(j, float(rng.uniform(0.3, g)))
+            for j in base.jobs
+        )
+    )
+
+
+class TestModel:
+    def test_width_job_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            WidthJob(Job(0, 2, 2, id=0), 0.0)
+        with pytest.raises(ValueError, match="interval"):
+            WidthJob(Job(0, 5, 2, id=0), 1.0)
+
+    def test_from_tuples(self):
+        wi = WidthInstance.from_tuples([(0, 2, 1.5), (1, 3, 0.5)])
+        assert wi.n == 2
+        assert wi.jobs[0].width == 1.5
+        assert wi.jobs[0].job.is_interval
+
+    def test_uniform_lift(self, interval_instance):
+        wi = WidthInstance.uniform(interval_instance, 2.0)
+        assert all(wj.width == 2.0 for wj in wi.jobs)
+
+    def test_total_width_at(self):
+        wi = WidthInstance.from_tuples([(0, 2, 1.5), (1, 3, 0.5)])
+        assert wi.total_width_at(1.5) == pytest.approx(2.0)
+        assert wi.total_width_at(0.5) == pytest.approx(1.5)
+        assert wi.total_width_at(5.0) == 0.0
+
+    def test_bundle_peak_width(self):
+        wi = WidthInstance.from_tuples([(0, 2, 1.5), (1, 3, 0.5)])
+        from repro.busytime import WidthBundle
+
+        b = WidthBundle(wi.jobs)
+        assert b.peak_width() == pytest.approx(2.0)
+        assert b.busy_time == pytest.approx(3.0)
+
+
+class TestLowerBounds:
+    def test_mass(self):
+        wi = WidthInstance.from_tuples([(0, 2, 3.0), (0, 2, 1.0)])
+        assert width_mass_lower_bound(wi, 2) == pytest.approx((6 + 2) / 2)
+
+    def test_profile(self):
+        wi = WidthInstance.from_tuples([(0, 2, 3.0), (0, 2, 1.0)])
+        # W = 4 over [0,2): ceil(4/2)=2 machines for 2 units of time
+        assert width_profile_lower_bound(wi, 2) == pytest.approx(4.0)
+
+    def test_profile_reduces_to_unit_case(self, rng, interval_instance):
+        from repro.busytime import demand_profile_lower_bound
+
+        wi = WidthInstance.uniform(interval_instance, 1.0)
+        assert width_profile_lower_bound(wi, 2) == pytest.approx(
+            demand_profile_lower_bound(interval_instance, 2)
+        )
+
+
+class TestAlgorithms:
+    def test_first_fit_verifies(self, rng):
+        for _ in range(10):
+            g = int(rng.integers(2, 6))
+            wi = random_width_instance(rng, 10, g)
+            s = first_fit_with_widths(wi, g)
+            s.verify()
+
+    def test_first_fit_rejects_too_wide(self):
+        wi = WidthInstance.from_tuples([(0, 2, 5.0)])
+        with pytest.raises(ValueError, match="width"):
+            first_fit_with_widths(wi, 2)
+
+    def test_narrow_wide_verifies(self, rng):
+        for _ in range(10):
+            g = int(rng.integers(2, 6))
+            wi = random_width_instance(rng, 12, g)
+            s = khandekar_narrow_wide(wi, g)
+            s.verify()
+
+    def test_narrow_wide_within_5x_profile(self, rng):
+        for _ in range(15):
+            g = int(rng.integers(2, 6))
+            wi = random_width_instance(rng, 12, g)
+            s = khandekar_narrow_wide(wi, g)
+            lb = max(
+                width_mass_lower_bound(wi, g),
+                width_profile_lower_bound(wi, g),
+            )
+            assert s.total_busy_time <= 5 * lb + 1e-6
+
+    def test_unit_width_matches_plain_first_fit(self, rng, interval_instance):
+        from repro.busytime import first_fit
+
+        wi = WidthInstance.uniform(interval_instance, 1.0)
+        s = first_fit_with_widths(wi, 2)
+        plain = first_fit(interval_instance, 2)
+        assert s.total_busy_time == pytest.approx(plain.total_busy_time)
+
+    def test_wide_jobs_never_overlap_on_machine(self, rng):
+        g = 4
+        wi = random_width_instance(rng, 12, g)
+        s = khandekar_narrow_wide(wi, g)
+        for b in s.bundles:
+            wides = [wj for wj in b.jobs if wj.width > g / 2]
+            for i, a in enumerate(wides):
+                for c in wides[i + 1 :]:
+                    lo = max(a.window[0], c.window[0])
+                    hi = min(a.window[1], c.window[1])
+                    assert lo >= hi - 1e-9
+
+    def test_empty(self):
+        wi = WidthInstance(tuple())
+        assert khandekar_narrow_wide(wi, 3).total_busy_time == 0.0

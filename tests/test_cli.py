@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.instances import figure3, figure8
+from repro.io import save_instance
+
+
+@pytest.fixture
+def active_file(tmp_path, tiny_instance):
+    path = tmp_path / "active.json"
+    save_instance(tiny_instance, path)
+    return str(path)
+
+
+@pytest.fixture
+def busy_file(tmp_path, interval_instance):
+    path = tmp_path / "busy.csv"
+    save_instance(interval_instance, path)
+    return str(path)
+
+
+class TestActiveCommand:
+    @pytest.mark.parametrize("algorithm", ["rounding", "minimal", "exact"])
+    def test_algorithms(self, active_file, capsys, algorithm):
+        assert main(["active", active_file, "--g", "2",
+                     "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "active time:" in out
+
+    def test_unit_algorithm_rejects_nonunit(self, active_file, capsys):
+        assert main(["active", active_file, "--g", "2",
+                     "--algorithm", "unit"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_infeasible_instance(self, tmp_path, capsys):
+        from repro.core import Instance
+
+        path = tmp_path / "bad.json"
+        save_instance(Instance.from_tuples([(0, 1, 1), (0, 1, 1)]), path)
+        assert main(["active", str(path), "--g", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["active", "/nonexistent.json", "--g", "2"]) == 1
+
+
+class TestBusyCommand:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["greedy_tracking", "first_fit", "chain_peeling", "kumar_rudra",
+         "exact"],
+    )
+    def test_algorithms(self, busy_file, capsys, algorithm):
+        assert main(["busy", busy_file, "--g", "2",
+                     "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "busy time:" in out
+        assert "machine" in out
+
+
+class TestGadgetCommand:
+    def test_print_facts(self, capsys):
+        assert main(["gadget", "figure3", "--g", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "opt_active_time" in out
+
+    def test_write_instance(self, tmp_path, capsys):
+        out_path = tmp_path / "gadget.json"
+        assert main(["gadget", "lp_gap", "--g", "3",
+                     "--out", str(out_path)]) == 0
+        from repro.io import load_instance
+
+        inst = load_instance(out_path)
+        from repro.instances import lp_gap
+
+        assert inst.n == lp_gap(3).instance.n
+
+    @pytest.mark.parametrize(
+        "name", ["figure1", "figure6", "figure8", "figure9", "figure10"]
+    )
+    def test_all_gadgets_printable(self, capsys, name):
+        assert main(["gadget", name, "--g", "3", "--eps", "0.1"]) == 0
+
+
+class TestBoundsCommand:
+    def test_bounds_table(self, busy_file, capsys):
+        assert main(["bounds", busy_file, "--g", "2"]) == 0
+        out = capsys.readouterr().out
+        for token in ("mass", "span", "profile", "best"):
+            assert token in out
+
+    def test_bounds_reject_flexible(self, active_file, capsys):
+        assert main(["bounds", active_file, "--g", "2"]) == 1

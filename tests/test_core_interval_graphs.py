@@ -1,0 +1,123 @@
+"""Tests for the interval-graph substrate (repro.core.interval_graphs)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    Instance,
+    Job,
+    chromatic_number,
+    greedy_color,
+    is_bipartite_overlap,
+    max_clique,
+    max_independent_set,
+    overlap_edges,
+)
+from repro.instances import random_interval_instance
+
+
+class TestOverlapEdges:
+    def test_basic(self):
+        jobs = [Job(0, 2, 2, id=0), Job(1, 3, 2, id=1), Job(5, 6, 1, id=2)]
+        assert overlap_edges(jobs) == [(0, 1)]
+
+    def test_touching_not_overlapping(self):
+        jobs = [Job(0, 1, 1, id=0), Job(1, 2, 1, id=1)]
+        assert overlap_edges(jobs) == []
+
+    def test_complete_on_clique(self, clique_instance):
+        edges = overlap_edges(list(clique_instance.jobs))
+        n = clique_instance.n
+        assert len(edges) == n * (n - 1) // 2
+
+
+class TestMaxClique:
+    def test_equals_peak_demand(self, rng):
+        for _ in range(15):
+            inst = random_interval_instance(10, 16.0, rng=rng)
+            clique = max_clique(list(inst.jobs))
+            # verify pairwise overlap
+            for a, b in itertools.combinations(clique, 2):
+                assert a.release < b.deadline and b.release < a.deadline
+            # verify it matches the profile's peak
+            from repro.busytime import compute_demand_profile
+
+            assert len(clique) == compute_demand_profile(inst, 1).max_raw
+
+    def test_empty(self):
+        assert max_clique([]) == []
+
+    def test_disjoint_jobs(self):
+        jobs = [Job(2 * i, 2 * i + 1, 1, id=i) for i in range(4)]
+        assert len(max_clique(jobs)) == 1
+
+
+class TestGreedyColoring:
+    def test_uses_clique_many_colors(self, rng):
+        for _ in range(15):
+            inst = random_interval_instance(12, 18.0, rng=rng)
+            jobs = list(inst.jobs)
+            assert chromatic_number(jobs) == len(max_clique(jobs))
+
+    def test_proper_coloring(self, rng):
+        inst = random_interval_instance(12, 18.0, rng=rng)
+        jobs = list(inst.jobs)
+        coloring = greedy_color(jobs)
+        for u, v in overlap_edges(jobs):
+            assert coloring[u] != coloring[v]
+
+    def test_color_classes_are_tracks(self, rng):
+        from repro.busytime import is_track
+
+        inst = random_interval_instance(12, 18.0, rng=rng)
+        jobs = list(inst.jobs)
+        coloring = greedy_color(jobs)
+        for c in set(coloring.values()):
+            assert is_track([j for j in jobs if coloring[j.id] == c])
+
+    def test_empty(self):
+        assert greedy_color([]) == {}
+        assert chromatic_number([]) == 0
+
+
+class TestMaxIndependentSet:
+    def test_pairwise_disjoint(self, rng):
+        inst = random_interval_instance(12, 18.0, rng=rng)
+        mis = max_independent_set(list(inst.jobs))
+        from repro.busytime import is_track
+
+        assert is_track(mis)
+
+    def test_optimal_vs_bruteforce(self, rng):
+        from repro.busytime import is_track
+
+        for _ in range(8):
+            inst = random_interval_instance(7, 10.0, rng=rng)
+            jobs = list(inst.jobs)
+            best = 0
+            for r in range(1, len(jobs) + 1):
+                for combo in itertools.combinations(jobs, r):
+                    if is_track(combo):
+                        best = max(best, r)
+            assert len(max_independent_set(jobs)) == best
+
+    def test_empty(self):
+        assert max_independent_set([]) == []
+
+
+class TestBipartiteOverlap:
+    def test_two_overlapping(self):
+        jobs = [Job(0, 2, 2, id=0), Job(1, 3, 2, id=1)]
+        assert is_bipartite_overlap(jobs)
+
+    def test_triangle(self):
+        jobs = [Job(0, 2, 2, id=0), Job(0, 2, 2, id=1), Job(0, 2, 2, id=2)]
+        assert not is_bipartite_overlap(jobs)
+
+    def test_matches_clique_condition(self, rng):
+        """Bipartite overlap iff max clique <= 2 (chordal + triangle-free)."""
+        for _ in range(15):
+            inst = random_interval_instance(8, 14.0, rng=rng)
+            jobs = list(inst.jobs)
+            assert is_bipartite_overlap(jobs) == (len(max_clique(jobs)) <= 2)

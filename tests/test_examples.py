@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples double as integration tests of the public API; each is executed
+in-process (fast seeds) and its stdout sanity-checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Active time" in out
+    assert "Busy time" in out
+    assert "LP rounding" in out
+
+
+def test_vm_consolidation(capsys):
+    out = run_example("datacenter_vm_consolidation.py", capsys, ["3"])
+    assert "Host-on hours" in out
+    assert "consolidation saves" in out
+
+
+def test_optical_grooming(capsys):
+    out = run_example("optical_network_grooming.py", capsys, ["2"])
+    assert "Demand profile" in out
+    assert "fiber-hours" in out
+
+
+def test_energy_batch(capsys):
+    out = run_example("energy_aware_batch_scheduling.py", capsys, ["4"])
+    assert "Powered-on hours" in out
+    assert "charging certificate" in out
+
+
+def test_reproduce_figures(capsys):
+    out = run_example("reproduce_paper_figures.py", capsys)
+    for marker in ("Figure 1", "Figure 3", "Section 3.5", "Figure 8",
+                   "Figure 9", "Figures 10-12"):
+        assert marker in out
+
+
+def test_visualize(capsys):
+    out = run_example("visualize_schedules.py", capsys)
+    assert "busy-time packings" in out
+    assert "^" in out  # busy markers rendered
+
+
+def test_capacity_sweep(capsys):
+    out = run_example("capacity_planning_sweep.py", capsys, ["2"])
+    assert "Active time vs capacity" in out
+    assert "Busy time vs capacity" in out

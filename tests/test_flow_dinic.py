@@ -1,0 +1,172 @@
+"""Unit tests for the Dinic max-flow solver, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.flow import Dinic, NamedFlowNetwork
+
+
+class TestConstruction:
+    def test_add_edge_returns_even_handles(self):
+        net = Dinic(3)
+        assert net.add_edge(0, 1, 5) == 0
+        assert net.add_edge(1, 2, 5) == 2
+        assert net.num_edges == 2
+
+    def test_add_node(self):
+        net = Dinic(1)
+        assert net.add_node() == 1
+        assert net.n == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            Dinic(2).add_edge(0, 5, 1)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            Dinic(2).add_edge(0, 1, -1)
+
+    def test_rejects_negative_node_count(self):
+        with pytest.raises(ValueError):
+            Dinic(-1)
+
+
+class TestSimpleFlows:
+    def test_single_edge(self):
+        net = Dinic(2)
+        net.add_edge(0, 1, 7)
+        assert net.max_flow(0, 1).value == 7
+
+    def test_series_bottleneck(self):
+        net = Dinic(3)
+        net.add_edge(0, 1, 10)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2).value == 3
+
+    def test_parallel_paths(self):
+        net = Dinic(4)
+        net.add_edge(0, 1, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(0, 2, 3)
+        net.add_edge(2, 3, 3)
+        assert net.max_flow(0, 3).value == 5
+
+    def test_no_path(self):
+        net = Dinic(3)
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 2).value == 0
+
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(ValueError):
+            Dinic(2).max_flow(1, 1)
+
+    def test_requires_residual_routing(self):
+        # Classic diamond where a greedy path must be partially undone.
+        net = Dinic(4)
+        net.add_edge(0, 1, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(1, 2, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(2, 3, 1)
+        assert net.max_flow(0, 3).value == 2
+
+
+class TestFlowsOutput:
+    def test_edge_flows_conserve(self):
+        net = Dinic(4)
+        e1 = net.add_edge(0, 1, 4)
+        e2 = net.add_edge(1, 2, 2)
+        e3 = net.add_edge(1, 3, 2)
+        e4 = net.add_edge(2, 3, 2)
+        res = net.max_flow(0, 3)
+        assert res.value == 4
+        assert res.flows[e1] == 4
+        assert res.flows[e2] == 2
+        assert res.flows[e3] == 2
+        assert res.flows[e4] == 2
+
+    def test_flows_within_capacity(self):
+        net = Dinic(3)
+        e = net.add_edge(0, 1, 5)
+        net.add_edge(1, 2, 3)
+        res = net.max_flow(0, 2)
+        assert 0 <= res.flows[e] <= 5
+
+
+class TestReuse:
+    def test_set_capacity_and_resolve(self):
+        net = Dinic(2)
+        e = net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 1).value == 5
+        net.set_capacity(e, 2)
+        assert net.max_flow(0, 1).value == 2
+        net.set_capacity(e, 9)
+        assert net.max_flow(0, 1).value == 9
+
+    def test_set_capacity_rejects_odd_handle(self):
+        net = Dinic(2)
+        net.add_edge(0, 1, 5)
+        with pytest.raises(ValueError):
+            net.set_capacity(1, 3)
+
+    def test_capacity_getter(self):
+        net = Dinic(2)
+        e = net.add_edge(0, 1, 5)
+        assert net.capacity(e) == 5
+
+
+class TestMinCut:
+    def test_reachable_side(self):
+        net = Dinic(4)
+        net.add_edge(0, 1, 10)
+        net.add_edge(1, 2, 1)  # bottleneck
+        net.add_edge(2, 3, 10)
+        net.max_flow(0, 3)
+        seen = net.min_cut_reachable(0)
+        assert seen[0] and seen[1]
+        assert not seen[2] and not seen[3]
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs_match(self, seed, rng):
+        n = int(rng.integers(4, 15))
+        net = Dinic(n)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(n))
+        m = int(rng.integers(n, 4 * n))
+        for _ in range(m):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u == v:
+                continue
+            c = int(rng.integers(1, 20))
+            net.add_edge(u, v, c)
+            if G.has_edge(u, v):
+                G[u][v]["capacity"] += c
+            else:
+                G.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(G, 0, n - 1) if G.number_of_edges() else 0
+        assert net.max_flow(0, n - 1).value == expected
+
+
+class TestNamedNetwork:
+    def test_named_nodes(self):
+        net = NamedFlowNetwork()
+        net.add_edge("s", ("job", 1), 3)
+        net.add_edge(("job", 1), "t", 2)
+        assert net.max_flow("s", "t").value == 2
+        assert net.has_node(("job", 1))
+        assert not net.has_node("missing")
+        assert len(net) == 3
+
+    def test_set_capacity(self):
+        net = NamedFlowNetwork()
+        e = net.add_edge("a", "b", 5)
+        net.set_capacity(e, 1)
+        assert net.max_flow("a", "b").value == 1
+
+    def test_raw_access(self):
+        net = NamedFlowNetwork()
+        net.add_edge("a", "b", 1)
+        assert net.raw.num_edges == 1

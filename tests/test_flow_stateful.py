@@ -1,0 +1,71 @@
+"""Stateful property test: the Dinic solver tracks networkx through mutations.
+
+A hypothesis rule-based machine that grows a random network, reconfigures
+capacities and repeatedly compares max-flow values against the networkx
+reference — exercising the solver's reuse path (reset-and-resolve) far more
+aggressively than the one-shot tests.
+"""
+
+import hypothesis.strategies as st
+import networkx as nx
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.flow import Dinic
+
+MAX_NODES = 8
+
+
+class DinicVsNetworkx(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.net = Dinic(2)  # node 0 = source, node 1 = sink
+        self.G = nx.DiGraph()
+        self.G.add_nodes_from([0, 1])
+        self.handles: list[tuple[int, int, int]] = []  # (handle, u, v)
+
+    @rule()
+    def add_node(self):
+        if self.net.n < MAX_NODES:
+            idx = self.net.add_node()
+            self.G.add_node(idx)
+
+    @rule(data=st.data())
+    def add_edge(self, data):
+        u = data.draw(st.integers(0, self.net.n - 1))
+        v = data.draw(st.integers(0, self.net.n - 1))
+        if u == v:
+            return
+        cap = data.draw(st.integers(0, 15))
+        handle = self.net.add_edge(u, v, cap)
+        self.handles.append((handle, u, v))
+        if self.G.has_edge(u, v):
+            self.G[u][v]["capacity"] += cap
+        else:
+            self.G.add_edge(u, v, capacity=cap)
+
+    @rule(data=st.data())
+    def reconfigure_capacity(self, data):
+        if not self.handles:
+            return
+        handle, u, v = data.draw(st.sampled_from(self.handles))
+        old = self.net.capacity(handle)
+        new = data.draw(st.integers(0, 15))
+        self.net.set_capacity(handle, new)
+        self.G[u][v]["capacity"] += new - old
+
+    @invariant()
+    def flows_match(self):
+        ours = self.net.max_flow(0, 1).value
+        theirs = (
+            nx.maximum_flow_value(self.G, 0, 1)
+            if self.G.number_of_edges()
+            else 0
+        )
+        assert ours == theirs
+
+
+DinicVsNetworkx.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=20, deadline=None
+)
+TestDinicStateful = DinicVsNetworkx.TestCase

@@ -1,0 +1,118 @@
+"""Seeded fuzz sweeps: cross-algorithm consistency on medium instances.
+
+Unlike the exact-baseline tests (small n), these sweeps run every algorithm
+on medium-size random instances and check all *relative* invariants that
+must hold regardless of the optimum:
+
+* every schedule verifies;
+* every cost respects every lower bound;
+* guarantee ordering: nothing exceeds its proven factor times the profile;
+* monotonicity in g (more capacity never hurts any of our deterministic
+  algorithms' bounds relative to the profile);
+* pipeline consistency between direct and flexible entry points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.activetime import minimal_feasible_schedule, round_active_time
+from repro.busytime import (
+    best_lower_bound,
+    chain_peeling_two_approx,
+    first_fit,
+    greedy_tracking,
+    greedy_unbounded_preemptive,
+    kumar_rudra,
+    mass_lower_bound,
+    opt_infinity,
+    preemptive_bounded,
+    schedule_flexible,
+)
+from repro.instances import (
+    random_active_time_instance,
+    random_flexible_instance,
+    random_interval_instance,
+)
+
+SEEDS = [11, 23, 47, 89, 131]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_interval_fuzz(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(4):
+        n = int(rng.integers(10, 40))
+        g = int(rng.integers(1, 6))
+        inst = random_interval_instance(n, 1.5 * n, rng=rng)
+        lb = best_lower_bound(inst, g)
+        for fn, factor in (
+            (first_fit, 4),
+            (greedy_tracking, 3),
+            (chain_peeling_two_approx, 2),
+            (kumar_rudra, 2),
+        ):
+            s = fn(inst, g)
+            s.verify()
+            assert lb - 1e-6 <= s.total_busy_time <= factor * lb + 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_active_time_fuzz(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        n = int(rng.integers(8, 20))
+        T = int(rng.integers(10, 24))
+        g = int(rng.integers(1, 5))
+        inst = random_active_time_instance(n, T, rng=rng)
+        try:
+            sol = round_active_time(inst, g, strict=True)
+        except RuntimeError:
+            continue
+        sol.schedule.verify()
+        assert sol.guarantee_holds
+        assert sol.repair_slots == []
+        mf = minimal_feasible_schedule(inst, g)
+        mf.verify()
+        # both are feasible solutions of the same instance: each at least
+        # the LP bound
+        assert mf.cost >= sol.lp_objective - 1e-6
+        assert sol.cost >= sol.lp_objective - 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flexible_fuzz(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        n = int(rng.integers(8, 25))
+        T = n + int(rng.integers(5, 15))
+        g = int(rng.integers(1, 5))
+        inst = random_flexible_instance(n, T, rng=rng)
+        placement = opt_infinity(inst)
+        pre_inf = greedy_unbounded_preemptive(inst)
+        pre_inf.verify()
+        pre_g = preemptive_bounded(inst, g)
+        pre_g.verify()
+        s = schedule_flexible(inst, g)
+        s.verify()
+        lower = max(placement.busy_time, mass_lower_bound(inst, g))
+        # the chain of models: preemptive-inf <= nonpreemptive-inf <= ...
+        assert pre_inf.total_busy_time <= placement.busy_time + 1e-6
+        assert pre_inf.total_busy_time <= pre_g.total_busy_time + 1e-6
+        assert placement.busy_time <= s.total_busy_time + 1e-6
+        assert s.total_busy_time <= 3 * lower + 1e-6
+        assert pre_g.total_busy_time <= 2 * max(
+            pre_inf.total_busy_time, mass_lower_bound(inst, g)
+        ) + 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_monotone_in_g_fuzz(seed):
+    """Profile-relative cost can fluctuate, but absolute cost of each
+    deterministic algorithm never increases when capacity doubles."""
+    rng = np.random.default_rng(seed)
+    inst = random_interval_instance(25, 40.0, rng=rng)
+    for fn in (first_fit, greedy_tracking, chain_peeling_two_approx):
+        costs = [fn(inst, g).total_busy_time for g in (1, 2, 4, 8, 16)]
+        # allow tiny numerical jitter between adjacent capacities
+        for a, b in zip(costs, costs[1:]):
+            assert b <= a + 1e-6

@@ -1,0 +1,101 @@
+"""Tests for the realistic trace generators (repro.instances.traces)."""
+
+import numpy as np
+import pytest
+
+from repro.instances.traces import bursty_trace, diurnal_trace, heavy_tailed_trace
+
+
+class TestDiurnal:
+    def test_shape(self, rng):
+        inst = diurnal_trace(40, rng=rng)
+        assert inst.n == 40
+        assert inst.is_integral
+
+    def test_labels(self, rng):
+        inst = diurnal_trace(60, rng=rng)
+        labels = {j.label for j in inst.jobs}
+        assert labels <= {"interactive", "batch"}
+        assert "interactive" in labels
+
+    def test_peak_concentration(self, rng):
+        inst = diurnal_trace(300, peak_hour=12, spread=3.0, rng=rng)
+        near = sum(1 for j in inst.jobs if abs(j.release - 12) <= 3)
+        far = sum(1 for j in inst.jobs if abs(j.release - 12) > 6)
+        assert near > far
+
+    def test_deterministic(self):
+        a = diurnal_trace(30, rng=np.random.default_rng(1))
+        b = diurnal_trace(30, rng=np.random.default_rng(1))
+        assert a == b
+
+    def test_schedulable(self, rng):
+        from repro.activetime import minimum_feasible_capacity
+
+        inst = diurnal_trace(25, rng=rng)
+        g = minimum_feasible_capacity(inst)
+        assert g >= 1
+
+
+class TestBursty:
+    def test_shape(self, rng):
+        inst = bursty_trace(40, rng=rng)
+        assert inst.n == 40
+        assert inst.is_integral
+
+    def test_burst_fraction_zero(self, rng):
+        inst = bursty_trace(30, burst_fraction=0.0, rng=rng)
+        assert all(j.label == "background" for j in inst.jobs)
+
+    def test_burst_fraction_one(self, rng):
+        inst = bursty_trace(30, burst_fraction=1.0, burst_count=2, rng=rng)
+        assert all(j.label == "burst" for j in inst.jobs)
+        assert len({j.release for j in inst.jobs}) <= 2
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            bursty_trace(10, burst_fraction=1.5, rng=rng)
+
+    def test_bursts_raise_peak_demand(self, rng):
+        from repro.busytime import pin_instance
+        from repro.instances import random_active_time_instance
+
+        bursty = bursty_trace(60, burst_fraction=0.8, burst_count=2, rng=rng)
+        smooth = bursty_trace(60, burst_fraction=0.0, rng=rng)
+
+        def peak(inst):
+            pinned = pin_instance(inst, {j.id: j.release for j in inst.jobs})
+            return max(
+                pinned.raw_demand_at(t + 0.5)
+                for t in range(int(pinned.latest_deadline))
+            )
+
+        assert peak(bursty) >= peak(smooth)
+
+
+class TestHeavyTailed:
+    def test_shape(self, rng):
+        inst = heavy_tailed_trace(50, rng=rng)
+        assert inst.n == 50
+        assert inst.is_integral
+
+    def test_lengths_clipped(self, rng):
+        inst = heavy_tailed_trace(100, max_length=8, rng=rng)
+        assert all(1 <= j.length <= 8 for j in inst.jobs)
+
+    def test_mice_dominate(self, rng):
+        inst = heavy_tailed_trace(300, rng=rng)
+        mice = sum(1 for j in inst.jobs if j.label == "mouse")
+        elephants = inst.n - mice
+        assert mice > elephants
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(ValueError):
+            heavy_tailed_trace(10, alpha=0.0, rng=rng)
+
+    def test_usable_by_pipeline(self, rng):
+        from repro.busytime import schedule_flexible
+
+        inst = heavy_tailed_trace(15, horizon=25, max_length=6, rng=rng)
+        s = schedule_flexible(inst, 3)
+        s.verify()

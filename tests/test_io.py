@@ -1,0 +1,86 @@
+"""Tests for instance serialization (repro.io)."""
+
+import pytest
+
+from repro.core import Instance, Job
+from repro.io import (
+    instance_from_csv,
+    instance_from_json,
+    instance_to_csv,
+    instance_to_json,
+    load_instance,
+    save_instance,
+)
+
+
+class TestJson:
+    def test_roundtrip(self, tiny_instance):
+        text = instance_to_json(tiny_instance)
+        assert instance_from_json(text) == tiny_instance
+
+    def test_labels_preserved(self):
+        inst = Instance((Job(0, 3, 2, id=5, label="rigid"),))
+        back = instance_from_json(instance_to_json(inst))
+        assert back.jobs[0].label == "rigid"
+        assert back.jobs[0].id == 5
+
+    def test_metadata_embedded(self, tiny_instance):
+        text = instance_to_json(tiny_instance, g=3, source="unit-test")
+        assert '"g": 3' in text
+
+    def test_bad_format_marker(self):
+        with pytest.raises(ValueError, match="format"):
+            instance_from_json('{"format": "other", "jobs": []}')
+
+    def test_real_values_roundtrip(self):
+        inst = Instance.from_intervals([(0.125, 1.375), (2.5, 3.75)])
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+
+class TestCsv:
+    def test_roundtrip(self, tiny_instance):
+        text = instance_to_csv(tiny_instance)
+        assert instance_from_csv(text) == tiny_instance
+
+    def test_header_optional(self):
+        got = instance_from_csv("0,4,2\n1,5,3\n")
+        assert got.n == 2
+        assert got.jobs[1].length == 3
+
+    def test_ids_auto_assigned(self):
+        got = instance_from_csv("release,deadline,length\n0,4,2\n1,5,3\n")
+        assert [j.id for j in got.jobs] == [0, 1]
+
+    def test_explicit_ids(self):
+        got = instance_from_csv("0,4,2,7\n1,5,3,9\n")
+        assert [j.id for j in got.jobs] == [7, 9]
+
+    def test_malformed_row(self):
+        with pytest.raises(ValueError, match="malformed"):
+            instance_from_csv("0,4,2\nnot,a,row\n")
+
+    def test_too_few_columns(self):
+        with pytest.raises(ValueError, match="columns"):
+            instance_from_csv("0,4\n")
+
+    def test_blank_lines_skipped(self):
+        got = instance_from_csv("0,4,2\n\n1,5,3\n\n")
+        assert got.n == 2
+
+
+class TestFiles:
+    def test_save_load_json(self, tiny_instance, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance(tiny_instance, path, g=2)
+        assert load_instance(path) == tiny_instance
+
+    def test_save_load_csv(self, tiny_instance, tmp_path):
+        path = tmp_path / "inst.csv"
+        save_instance(tiny_instance, path)
+        assert load_instance(path) == tiny_instance
+
+    def test_unsupported_extension(self, tiny_instance, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            save_instance(tiny_instance, tmp_path / "inst.yaml")
+        with pytest.raises(ValueError, match="extension"):
+            load_instance(tmp_path / "inst.yaml")

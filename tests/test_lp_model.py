@@ -1,0 +1,95 @@
+"""Unit tests for the active-time LP/IP builder (repro.lp.model)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance
+from repro.lp import build_active_time_model
+
+
+class TestModelShape:
+    def test_variable_count(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=2)
+        pairs = sum(len(j.feasible_slots()) for j in tiny_instance.jobs)
+        assert model.num_vars == model.T + pairs
+        assert model.num_y == tiny_instance.horizon
+
+    def test_constraint_count(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=2)
+        pairs = sum(len(j.feasible_slots()) for j in tiny_instance.jobs)
+        # pairing constraints + per-slot capacity + per-job coverage
+        assert model.a_ub.shape[0] == pairs + model.T + tiny_instance.n
+
+    def test_objective_is_y_only(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=2)
+        assert model.objective[: model.T].sum() == model.T
+        assert model.objective[model.T :].sum() == 0
+
+    def test_x_index_covers_windows_only(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=2)
+        for (jid, t) in model.x_index:
+            assert tiny_instance.job_by_id(jid).is_live_in_slot(t)
+
+    def test_y_column(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=2)
+        assert model.y_column(1) == 0
+        assert model.y_column(model.T) == model.T - 1
+        with pytest.raises(IndexError):
+            model.y_column(0)
+        with pytest.raises(IndexError):
+            model.y_column(model.T + 1)
+
+
+class TestModelSemantics:
+    def test_integral_solution_satisfies_system(self, tiny_instance):
+        """A hand-built feasible schedule must satisfy A_ub z <= b_ub."""
+        model = build_active_time_model(tiny_instance, g=2)
+        z = np.zeros(model.num_vars)
+        # open all slots, schedule job 0 in {1,2}, job 1 in {2,3,4}, job 2 in {1}
+        for t in range(1, model.T + 1):
+            z[model.y_column(t)] = 1.0
+        for jid, slots in {0: [1, 2], 1: [2, 3, 4], 2: [1]}.items():
+            for t in slots:
+                z[model.x_index[(jid, t)]] = 1.0
+        assert np.all(model.a_ub @ z <= model.b_ub + 1e-9)
+
+    def test_overfull_slot_violates(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=1)
+        z = np.zeros(model.num_vars)
+        z[model.y_column(1)] = 1.0
+        z[model.x_index[(0, 1)]] = 1.0
+        z[model.x_index[(2, 1)]] = 1.0  # two jobs in slot 1 with g=1
+        assert not np.all(model.a_ub @ z <= model.b_ub + 1e-9)
+
+    def test_unopened_slot_violates(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=2)
+        z = np.zeros(model.num_vars)
+        z[model.x_index[(0, 1)]] = 1.0  # x > y = 0
+        assert not np.all(model.a_ub @ z <= model.b_ub + 1e-9)
+
+    def test_extract_roundtrip(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=2)
+        z = np.zeros(model.num_vars)
+        z[model.y_column(3)] = 0.7
+        z[model.x_index[(1, 3)]] = 0.4
+        y, x = model.extract(z)
+        assert y[3] == pytest.approx(0.7)
+        assert x[(1, 3)] == pytest.approx(0.4)
+        assert (0, 1) not in x
+
+    def test_bounds(self, tiny_instance):
+        model = build_active_time_model(tiny_instance, g=2)
+        bounds = model.variable_bounds()
+        assert len(bounds) == model.num_vars
+        assert all(b == (0.0, 1.0) for b in bounds)
+
+
+class TestValidation:
+    def test_rejects_non_integral(self):
+        inst = Instance.from_intervals([(0.0, 1.5)])
+        with pytest.raises(ValueError):
+            build_active_time_model(inst, 1)
+
+    def test_rejects_bad_g(self, tiny_instance):
+        with pytest.raises(ValueError):
+            build_active_time_model(tiny_instance, 0)
