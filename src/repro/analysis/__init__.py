@@ -1,7 +1,13 @@
 """Measurement helpers: approximation ratios and report formatting."""
 
 from .experiments import EXPERIMENTS, Experiment, run_all, run_experiment
-from .ratios import RatioSample, RatioSummary, collect_ratios, summarize
+from .ratios import (
+    RatioSample,
+    RatioSummary,
+    collect_ratios,
+    summarize,
+    summarize_groups,
+)
 from .report import format_series, format_table
 
 __all__ = [
@@ -15,4 +21,5 @@ __all__ = [
     "format_series",
     "format_table",
     "summarize",
+    "summarize_groups",
 ]

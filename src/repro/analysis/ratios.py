@@ -12,7 +12,13 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["RatioSample", "RatioSummary", "collect_ratios", "summarize"]
+__all__ = [
+    "RatioSample",
+    "RatioSummary",
+    "collect_ratios",
+    "summarize",
+    "summarize_groups",
+]
 
 
 @dataclass(frozen=True)
@@ -61,6 +67,14 @@ def collect_ratios(
         RatioSample(label=label, cost=c, baseline=b, meta=meta or {})
         for c, b in runs
     ]
+
+
+def summarize_groups(samples: Sequence[RatioSample]) -> list[RatioSummary]:
+    """Group samples by label and summarize each group (label-sorted)."""
+    groups: dict[str, list[RatioSample]] = {}
+    for sample in samples:
+        groups.setdefault(sample.label, []).append(sample)
+    return [summarize(groups[label]) for label in sorted(groups)]
 
 
 def summarize(samples: Sequence[RatioSample]) -> RatioSummary:

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands
 --------
@@ -8,11 +8,24 @@ Commands
 ``busy``
     Solve a busy-time instance:
     ``python -m repro busy jobs.csv --g 3 --algorithm greedy_tracking``
+``algos``
+    List every registered solver with its metadata.
+``sweep``
+    Run a generator x algorithm x g experiment grid through the batch
+    engine: ``python -m repro sweep --jobs 4 --out results.jsonl``
+``batch``
+    Solve many instance files in one run:
+    ``python -m repro batch a.json b.csv --problem busy --g 2 --jobs 4``
 ``gadget``
     Materialize one of the paper's constructions to a file:
     ``python -m repro gadget figure3 --g 5 --out fig3.json``
 ``bounds``
     Print all lower bounds for a busy-time instance.
+``experiments``
+    Run the registered paper experiments.
+
+Algorithm dispatch goes through :data:`repro.engine.REGISTRY` — the
+CLI holds no algorithm lists of its own.
 """
 
 from __future__ import annotations
@@ -21,29 +34,40 @@ import argparse
 import sys
 from typing import Sequence
 
-from .activetime import (
-    exact_active_time,
-    minimal_feasible_schedule,
-    round_active_time,
-    unit_jobs_optimal_schedule,
-)
 from .analysis import format_table
+from .analysis.experiments import EXPERIMENTS, run_all, run_experiment
 from .busytime import (
-    INTERVAL_ALGORITHMS,
     best_lower_bound,
     demand_profile_lower_bound,
-    exact_busy_time_interval,
     mass_lower_bound,
-    schedule_flexible,
     span_lower_bound,
 )
-from .analysis.experiments import EXPERIMENTS, run_all, run_experiment
-from .instances import figure1, figure3, figure6, figure8, figure9, figure10, lp_gap
-from .io import load_instance, save_instance
+from .engine import (
+    REGISTRY,
+    BatchRunner,
+    ResultCache,
+    SweepGrid,
+    aggregate_table,
+    default_grid,
+    make_task,
+    run_sweep,
+    write_results,
+)
+from .instances import (
+    PROBLEM_GENERATORS,
+    SWEEP_GENERATORS,
+    figure1,
+    figure3,
+    figure6,
+    figure8,
+    figure9,
+    figure10,
+    lp_gap,
+)
+from .io import load_instance, load_instances, save_instance
 
 __all__ = ["main"]
 
-ACTIVE_ALGORITHMS = ("rounding", "minimal", "exact", "unit")
 GADGETS = {
     "figure1": lambda args: figure1(),
     "figure3": lambda args: figure3(args.g),
@@ -53,6 +77,8 @@ GADGETS = {
     "figure9": lambda args: figure9(args.g, eps=args.eps),
     "figure10": lambda args: figure10(args.g, eps=args.eps, eps_prime=args.eps / 2),
 }
+
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,7 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_active.add_argument("path", help="instance file (.json or .csv)")
     p_active.add_argument("--g", type=int, required=True, help="slot capacity")
     p_active.add_argument(
-        "--algorithm", choices=ACTIVE_ALGORITHMS, default="rounding"
+        "--algorithm", choices=REGISTRY.names("active"), default="rounding"
     )
 
     p_busy = sub.add_parser("busy", help="solve a busy-time instance")
@@ -74,9 +100,77 @@ def _build_parser() -> argparse.ArgumentParser:
     p_busy.add_argument("--g", type=int, required=True, help="machine capacity")
     p_busy.add_argument(
         "--algorithm",
-        choices=sorted(INTERVAL_ALGORITHMS) + ["exact"],
+        choices=REGISTRY.names("busy"),
         default="greedy_tracking",
     )
+
+    sub.add_parser("algos", help="list registered solvers")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run an experiment grid through the batch engine"
+    )
+    p_sweep.add_argument(
+        "--problem",
+        choices=("active", "busy", "both"),
+        default="both",
+        help="which problem grids to run (default both)",
+    )
+    p_sweep.add_argument(
+        "--generators",
+        help=f"comma-separated subset of {sorted(SWEEP_GENERATORS)} "
+        "(default: first two families for the problem)",
+    )
+    p_sweep.add_argument(
+        "--algorithms",
+        help="comma-separated solver names (default: all cheap registered)",
+    )
+    p_sweep.add_argument(
+        "--g", help="comma-separated g values (default 3,4 active / 2,3 busy)"
+    )
+    p_sweep.add_argument("--n", type=int, default=10, help="jobs per instance")
+    p_sweep.add_argument("--horizon", type=int, default=20)
+    p_sweep.add_argument(
+        "--instances", type=int, default=3, help="instances per grid cell"
+    )
+    p_sweep.add_argument("--seed", type=int, default=2014)
+    p_sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, help="per-task timeout (s)"
+    )
+    p_sweep.add_argument(
+        "--limit", type=int, default=None, help="cap on total tasks"
+    )
+    p_sweep.add_argument(
+        "--out", default="sweep_results.jsonl", help="JSONL result file"
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"on-disk result cache (default {DEFAULT_CACHE_DIR})",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+
+    p_batch = sub.add_parser(
+        "batch", help="solve many instance files through the engine"
+    )
+    p_batch.add_argument(
+        "paths",
+        nargs="+",
+        help="instance files (.json/.csv, or .jsonl with one instance per line)",
+    )
+    p_batch.add_argument(
+        "--problem", choices=("active", "busy"), default="active"
+    )
+    p_batch.add_argument("--g", type=int, required=True)
+    p_batch.add_argument("--algorithm", default=None,
+                         help="solver name (default: rounding / greedy_tracking)")
+    p_batch.add_argument("--jobs", type=int, default=1)
+    p_batch.add_argument("--timeout", type=float, default=None)
+    p_batch.add_argument("--out", default=None, help="JSONL result file")
+    p_batch.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p_batch.add_argument("--no-cache", action="store_true")
 
     p_gadget = sub.add_parser("gadget", help="materialize a paper gadget")
     p_gadget.add_argument("name", choices=sorted(GADGETS))
@@ -100,34 +194,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_active(args) -> int:
     instance = load_instance(args.path)
-    if args.algorithm == "rounding":
-        sol = round_active_time(instance, args.g)
-        schedule = sol.schedule
-        extra = f"LP bound {sol.lp_objective:.3f}, ratio {sol.ratio_vs_lp:.3f}"
-    elif args.algorithm == "minimal":
-        schedule = minimal_feasible_schedule(instance, args.g)
-        extra = "guarantee 3x"
-    elif args.algorithm == "unit":
-        schedule = unit_jobs_optimal_schedule(instance, args.g)
-        extra = "exact (unit jobs)"
-    else:
-        schedule = exact_active_time(instance, args.g)
-        extra = "exact (MILP)"
-    schedule.verify()
+    outcome = REGISTRY.solve("active", args.algorithm, instance, args.g)
+    spec = REGISTRY.get("active", args.algorithm)
+    schedule = outcome.schedule
     print(f"instance : {instance.describe()}")
-    print(f"algorithm: {args.algorithm} ({extra})")
+    print(f"algorithm: {args.algorithm} ({spec.guarantee})")
     print(f"active time: {schedule.cost} slots")
     print(f"active slots: {list(schedule.active_slots)}")
+    for key in ("lp_objective", "ratio_vs_lp"):
+        if key in outcome.metrics:
+            print(f"{key}: {outcome.metrics[key]:.3f}")
     return 0
 
 
 def _cmd_busy(args) -> int:
     instance = load_instance(args.path)
-    if args.algorithm == "exact":
-        schedule = exact_busy_time_interval(instance, args.g)
-    else:
-        schedule = schedule_flexible(instance, args.g, algorithm=args.algorithm)
-    schedule.verify()
+    outcome = REGISTRY.solve("busy", args.algorithm, instance, args.g)
+    schedule = outcome.schedule
     print(f"instance : {instance.describe()}")
     print(f"algorithm: {args.algorithm}")
     print(f"busy time: {schedule.total_busy_time:g}")
@@ -138,6 +221,169 @@ def _cmd_busy(args) -> int:
     ]
     print(format_table("bundles", ["machine", "busy", "jobs", "ids"], rows))
     return 0
+
+
+def _cmd_algos(args) -> int:
+    rows = [spec.describe_row() for spec in REGISTRY.specs()]
+    print(
+        format_table(
+            f"registered solvers ({len(rows)})",
+            ["problem", "name", "guarantee", "complexity", "description"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _split_csv(text: str | None) -> tuple[str, ...] | None:
+    if text is None:
+        return None
+    return tuple(s.strip() for s in text.split(",") if s.strip())
+
+
+def _make_cache(args) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    return ResultCache(directory=args.cache_dir)
+
+
+def _cmd_sweep(args) -> int:
+    problems = ("active", "busy") if args.problem == "both" else (args.problem,)
+    generators = _split_csv(args.generators)
+    algorithms = _split_csv(args.algorithms)
+    g_values = _split_csv(args.g)
+
+    # A requested name may legitimately apply to only one of the selected
+    # problems, but a name unknown to every selected problem is a typo —
+    # silently dropping it would fake a successful run.
+    if generators:
+        known = {g for p in problems for g in PROBLEM_GENERATORS[p]}
+        unknown = [g for g in generators if g not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown generator(s) {unknown} for problem "
+                f"{args.problem!r}; choose from {sorted(known)}"
+            )
+    if algorithms:
+        known = {a for p in problems for a in REGISTRY.names(p)}
+        unknown = [a for a in algorithms if a not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown algorithm(s) {unknown} for problem "
+                f"{args.problem!r}; choose from {sorted(known)}"
+            )
+
+    grids = []
+    for problem in problems:
+        base = default_grid(problem)
+        gens = (
+            tuple(
+                g for g in generators if g in PROBLEM_GENERATORS[problem]
+            )
+            if generators
+            else base.generators
+        )
+        algos = (
+            tuple(a for a in algorithms if a in REGISTRY.names(problem))
+            if algorithms
+            else base.algorithms
+        )
+        if generators and not gens:
+            continue  # user-picked generators all belong to the other problem
+        if algorithms and not algos:
+            continue
+        grids.append(
+            SweepGrid(
+                problem=problem,
+                generators=gens,
+                algorithms=algos,
+                g_values=(
+                    tuple(int(v) for v in g_values)
+                    if g_values
+                    else base.g_values
+                ),
+                instances_per_cell=args.instances,
+                n=args.n,
+                horizon=args.horizon,
+                timeout=args.timeout,
+            )
+        )
+    if not grids:
+        raise ValueError("no grid cells match the requested filters")
+
+    outcome = run_sweep(
+        grids,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        base_seed=args.seed,
+        limit=args.limit,
+    )
+    written = write_results(outcome.results, args.out)
+    print(outcome.table)
+    print()
+    print(outcome.summary)
+    print(f"results  : {written} records -> {args.out}")
+    for result in outcome.results:
+        if not result.ok:
+            print(f"error    : {result.error}", file=sys.stderr)
+    # Partial failures are expected in exploratory sweeps (some cells may
+    # be infeasible) and keep exit 0; a sweep where nothing succeeded is
+    # a broken setup and must be visible to scripts and CI.
+    if outcome.results and outcome.errors == len(outcome.results):
+        return 1
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    algorithm = args.algorithm or (
+        "rounding" if args.problem == "active" else "greedy_tracking"
+    )
+    REGISTRY.get(args.problem, algorithm)  # fail fast on unknown names
+    tasks = []
+    for path in args.paths:
+        loaded = load_instances(path)
+        for pos, instance in enumerate(loaded):
+            label = path if len(loaded) == 1 else f"{path}#{pos}"
+            tasks.append(
+                make_task(
+                    index=len(tasks),
+                    problem=args.problem,
+                    algorithm=algorithm,
+                    g=args.g,
+                    instance=instance,
+                    meta={"path": label},
+                    timeout=args.timeout,
+                )
+            )
+    runner = BatchRunner(jobs=args.jobs, cache=_make_cache(args))
+    results = runner.run(tasks)
+    rows = [
+        [
+            r.meta.get("path", r.digest[:12]),
+            "ok" if r.ok else "ERROR",
+            r.objective if r.ok else "-",
+            "hit" if r.cached else "",
+            f"{r.elapsed:.3f}",
+        ]
+        for r in results
+    ]
+    print(
+        format_table(
+            f"batch {args.problem}/{algorithm} g={args.g}",
+            ["instance", "status", "objective", "cache", "sec"],
+            rows,
+        )
+    )
+    print()
+    print(aggregate_table(results, "batch aggregate"))
+    print(f"cache hits: {runner.last_cache_hits}/{len(tasks)}")
+    if args.out:
+        written = write_results(results, args.out)
+        print(f"results  : {written} records -> {args.out}")
+    failures = [r for r in results if not r.ok]
+    for result in failures:
+        print(f"error    : {result.error}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_gadget(args) -> int:
@@ -186,12 +432,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "active": _cmd_active,
         "busy": _cmd_busy,
+        "algos": _cmd_algos,
+        "sweep": _cmd_sweep,
+        "batch": _cmd_batch,
         "gadget": _cmd_gadget,
         "bounds": _cmd_bounds,
         "experiments": _cmd_experiments,
     }
     try:
         return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout was closed early (e.g. ``repro algos | head``); exit
+        # quietly instead of tracebacking.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
     except (ValueError, RuntimeError, KeyError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,170 @@
+"""Content-addressed result cache for solver runs.
+
+A task is identified by a stable SHA-256 digest of the *canonicalized*
+instance (job tuples in order), the problem/algorithm pair, ``g`` and
+any extra parameters.  Two layers:
+
+* an in-memory LRU (``OrderedDict``) bounded by ``maxsize``;
+* an optional on-disk JSON store (one file per digest) so repeated
+  sweeps across process runs are near-free.
+
+Only JSON-serializable result records go through the cache — schedules
+stay in-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.jobs import Instance
+
+__all__ = [
+    "canonical_task",
+    "instance_digest",
+    "task_digest",
+    "ResultCache",
+]
+
+
+def _canonical_jobs(instance: Instance) -> list[list[Any]]:
+    """Jobs as plain lists, in instance order (order matters to packers).
+
+    ``Job.label`` is excluded: it is declared ``compare=False`` on the
+    dataclass and no solver reads it, so label-only variants of the
+    same jobs must share cache entries.
+    """
+    return [
+        [j.release, j.deadline, j.length, j.id]
+        for j in instance.jobs
+    ]
+
+
+def canonical_task(
+    instance: Instance,
+    problem: str,
+    algorithm: str,
+    g: int,
+    params: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The canonical JSON-ready description of one solve task."""
+    return {
+        "jobs": _canonical_jobs(instance),
+        "problem": problem,
+        "algorithm": algorithm,
+        "g": g,
+        "params": dict(sorted((params or {}).items())),
+    }
+
+
+def _digest(payload: Any) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def instance_digest(instance: Instance) -> str:
+    """Stable content hash of an instance alone."""
+    return _digest(_canonical_jobs(instance))
+
+
+def task_digest(
+    instance: Instance,
+    problem: str,
+    algorithm: str,
+    g: int,
+    params: Mapping[str, Any] | None = None,
+) -> str:
+    """Stable content hash of a full solve task."""
+    return _digest(canonical_task(instance, problem, algorithm, g, params))
+
+
+class ResultCache:
+    """In-memory LRU over an optional on-disk JSON store.
+
+    Parameters
+    ----------
+    maxsize:
+        Bound on the in-memory layer; least-recently-used entries are
+        evicted first.  The disk layer (when enabled) is unbounded.
+    directory:
+        When given, every ``put`` also writes ``<digest>.json`` here and
+        ``get`` falls back to disk on a memory miss.
+    """
+
+    def __init__(
+        self, maxsize: int = 4096, directory: str | Path | None = None
+    ) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Return the cached record for ``key`` or ``None`` on a miss."""
+        record = self._memory.get(key)
+        if record is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return dict(record)
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                record = None
+            if record is not None:
+                self._store_memory(key, record)
+                self.hits += 1
+                return dict(record)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        """Store a JSON-serializable record under ``key``."""
+        payload = dict(record)
+        self._store_memory(key, payload)
+        path = self._disk_path(key)
+        if path is not None:
+            # Unique tmp name: concurrent runs sharing a cache directory
+            # may put the same digest; a fixed tmp name would race.
+            tmp = path.with_suffix(f".{os.getpid()}.{id(self):x}.tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(path)
+
+    def _store_memory(self, key: str, record: Mapping[str, Any]) -> None:
+        self._memory[key] = dict(record)
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters plus the in-memory size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._memory),
+        }
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk files are left alone)."""
+        self._memory.clear()

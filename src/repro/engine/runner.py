@@ -1,0 +1,172 @@
+"""`BatchRunner` — shard a stream of solve tasks across a worker pool.
+
+Design points:
+
+* **Deterministic ordering** — results come back in task order no
+  matter which worker finished first, so parallel and serial runs of
+  the same task list produce identical records (modulo timings).
+* **Cache first** — tasks whose content digest is already in the
+  :class:`~repro.engine.cache.ResultCache` never reach the pool.
+* **Graceful failure** — a solver error becomes a ``TaskResult`` with
+  ``ok=False`` (annotated with digest and seed by the worker); it never
+  kills the batch.
+* **Clean interrupt** — ``KeyboardInterrupt`` cancels outstanding
+  futures and shuts the pool down without waiting, so Ctrl-C leaves no
+  orphaned workers behind.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Sequence
+
+from .cache import ResultCache
+from .workers import Task, TaskResult, execute_task
+
+__all__ = ["BatchRunner"]
+
+
+class BatchRunner:
+    """Run many solve tasks, optionally in parallel, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``1`` runs everything in-process (useful
+        for debugging and required for solvers registered only in the
+        current process).
+    cache:
+        Optional result cache consulted before dispatch and updated
+        with every successful result.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        #: Number of cache hits in the most recent :meth:`run`.
+        self.last_cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> list[TaskResult]:
+        """Execute ``tasks`` and return results in task order.
+
+        Tasks sharing a content digest are solved once per run: the
+        first occurrence executes, later ones reuse its result (marked
+        ``cached``) even when no :class:`ResultCache` is configured.
+        """
+        results: list[TaskResult | None] = [None] * len(tasks)
+        pending: list[Task] = []
+        pending_pos: list[int] = []
+        first_by_digest: dict[str, int] = {}
+        dup_of: dict[int, int] = {}
+        self.last_cache_hits = 0
+
+        for pos, task in enumerate(tasks):
+            hit = self._cache_lookup(task)
+            if hit is not None:
+                results[pos] = hit
+                self.last_cache_hits += 1
+                continue
+            first = first_by_digest.get(task.digest)
+            if first is not None:
+                dup_of[pos] = first
+                continue
+            first_by_digest[task.digest] = pos
+            pending.append(task)
+            pending_pos.append(pos)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                executed = [execute_task(t) for t in pending]
+            else:
+                executed = self._run_parallel(pending)
+            for pos, result in zip(pending_pos, executed):
+                results[pos] = result
+                self._cache_store(result)
+
+        for pos, first in dup_of.items():
+            source = results[first]
+            if source is not None and source.ok:
+                results[pos] = self._reanchor(source, tasks[pos])
+                self.last_cache_hits += 1
+            else:
+                # Mirrors _cache_store's policy: failures (timeouts,
+                # transient errors) are retried, never reused.
+                results[pos] = execute_task(tasks[pos])
+                self._cache_store(results[pos])
+
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, pending: Sequence[Task]) -> list[TaskResult]:
+        """Fan pending tasks out to a process pool, preserving order."""
+        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        futures: dict = {}
+        try:
+            futures = {
+                executor.submit(execute_task, task): i
+                for i, task in enumerate(pending)
+            }
+            executed: list[TaskResult | None] = [None] * len(pending)
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    executed[futures[future]] = future.result()
+        except KeyboardInterrupt:
+            for future in futures:
+                future.cancel()
+            # shutdown(wait=False) lets in-flight tasks run to completion,
+            # which can leave workers grinding long after Ctrl-C — kill
+            # them outright so nothing is orphaned.
+            processes = list(getattr(executor, "_processes", {}).values())
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=1.0)
+            raise
+        except BaseException:
+            # e.g. BrokenProcessPool from an OOM-killed worker: still
+            # release the pool before propagating.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            executor.shutdown(wait=True)
+        return [r for r in executed if r is not None]
+
+    # ------------------------------------------------------------------
+    def _cache_lookup(self, task: Task) -> TaskResult | None:
+        if self.cache is None:
+            return None
+        record = self.cache.get(task.digest)
+        if record is None:
+            return None
+        return self._reanchor(TaskResult.from_record(record), task)
+
+    @staticmethod
+    def _reanchor(result: TaskResult, task: Task) -> TaskResult:
+        """A reused result re-anchored to this task's position/provenance."""
+        return TaskResult(
+            index=task.index,
+            digest=result.digest,
+            problem=result.problem,
+            algorithm=result.algorithm,
+            g=result.g,
+            n=result.n,
+            ok=result.ok,
+            objective=result.objective,
+            metrics=result.metrics,
+            error=result.error,
+            elapsed=result.elapsed,
+            cached=True,
+            meta=task.meta or result.meta,
+        )
+
+    def _cache_store(self, result: TaskResult) -> None:
+        # Failures are not cached: a timeout or transient error should be
+        # retried on the next run rather than pinned forever.
+        if self.cache is not None and result.ok:
+            self.cache.put(result.digest, result.to_record())

@@ -1,0 +1,235 @@
+"""Worker-side task execution for the batch engine.
+
+Tasks carry names, not callables: the worker process re-resolves the
+solver through :data:`repro.engine.registry.REGISTRY`, so nothing
+unpicklable crosses the process boundary and spawned interpreters work
+exactly like forked ones.
+
+Per-task timeouts use ``SIGALRM`` (POSIX); on platforms without it the
+timeout is ignored rather than failing.  Limitation: a signal only
+interrupts Python bytecode, so a solver deep inside a native call
+(e.g. the scipy/HiGHS MILP backend) overruns its budget until the
+interpreter regains control; a hard bound on native solvers needs a
+watchdog that kills the worker process (see ROADMAP).  Every error is captured into
+the result record — annotated with the task's content digest and seed
+so a failing instance can be regenerated — instead of tearing down the
+pool.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..core.jobs import Instance
+from .cache import task_digest
+from .registry import REGISTRY
+
+__all__ = ["Task", "TaskResult", "TaskTimeout", "execute_task", "make_task"]
+
+
+class TaskTimeout(Exception):
+    """Raised inside a worker when a task exceeds its time budget."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One solve request: an instance plus the solver coordinates.
+
+    ``meta`` is free-form provenance (generator name, seed, source file)
+    that is carried into the result record; it does not affect the
+    content digest.
+    """
+
+    index: int
+    problem: str
+    algorithm: str
+    g: int
+    instance: Instance
+    digest: str
+    params: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+    timeout: float | None = None
+
+    @property
+    def seed(self) -> Any:
+        """The generator seed, if the task records one (for error context)."""
+        return self.meta.get("seed", self.params.get("seed"))
+
+
+def make_task(
+    index: int,
+    problem: str,
+    algorithm: str,
+    g: int,
+    instance: Instance,
+    *,
+    params: dict[str, Any] | None = None,
+    meta: dict[str, Any] | None = None,
+    timeout: float | None = None,
+) -> Task:
+    """Build a :class:`Task`, computing its content digest."""
+    params = dict(params or {})
+    return Task(
+        index=index,
+        problem=problem,
+        algorithm=algorithm,
+        g=g,
+        instance=instance,
+        digest=task_digest(instance, problem, algorithm, g, params),
+        params=params,
+        meta=dict(meta or {}),
+        timeout=timeout,
+    )
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one task: metrics on success, an error string otherwise."""
+
+    index: int
+    digest: str
+    problem: str
+    algorithm: str
+    g: int
+    n: int
+    ok: bool
+    objective: float | None = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    elapsed: float = 0.0
+    cached: bool = False
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-serializable form (for JSONL files and the cache)."""
+        return {
+            "index": self.index,
+            "digest": self.digest,
+            "problem": self.problem,
+            "algorithm": self.algorithm,
+            "g": self.g,
+            "n": self.n,
+            "ok": self.ok,
+            "objective": self.objective,
+            "metrics": self.metrics,
+            "error": self.error,
+            "elapsed": round(self.elapsed, 6),
+            "cached": self.cached,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "TaskResult":
+        """Inverse of :meth:`to_record` (unknown keys are ignored)."""
+        return cls(
+            index=record["index"],
+            digest=record["digest"],
+            problem=record["problem"],
+            algorithm=record["algorithm"],
+            g=record["g"],
+            n=record.get("n", 0),
+            ok=record["ok"],
+            objective=record.get("objective"),
+            metrics=dict(record.get("metrics") or {}),
+            error=record.get("error"),
+            elapsed=float(record.get("elapsed", 0.0)),
+            cached=bool(record.get("cached", False)),
+            meta=dict(record.get("meta") or {}),
+        )
+
+
+@contextmanager
+def _alarm(seconds: float | None) -> Iterator[None]:
+    """Arm ``SIGALRM`` for ``seconds`` (no-op without support or budget)."""
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _raise(signum, frame):  # pragma: no cover - exercised via timeout
+        raise TaskTimeout(f"timed out after {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _raise)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _error_context(task: Task) -> str:
+    """Identify the failing task well enough to reproduce it."""
+    seed = task.seed
+    seed_part = f" seed={seed}" if seed is not None else ""
+    return (
+        f"task {task.digest[:12]} "
+        f"({task.problem}/{task.algorithm}, g={task.g}, "
+        f"n={task.instance.n}{seed_part})"
+    )
+
+
+def execute_task(task: Task) -> TaskResult:
+    """Run one task, capturing any failure into the result.
+
+    This is the function shipped to worker processes; it must stay
+    importable at module top level so it pickles by reference.
+    ``KeyboardInterrupt`` is deliberately *not* captured — it must
+    propagate so pool shutdown works.
+    """
+    start = time.perf_counter()
+    try:
+        with _alarm(task.timeout):
+            outcome = REGISTRY.solve(
+                task.problem,
+                task.algorithm,
+                task.instance,
+                task.g,
+                **task.params,
+            )
+    except KeyboardInterrupt:
+        raise
+    except TaskTimeout as exc:
+        return TaskResult(
+            index=task.index,
+            digest=task.digest,
+            problem=task.problem,
+            algorithm=task.algorithm,
+            g=task.g,
+            n=task.instance.n,
+            ok=False,
+            error=f"{_error_context(task)}: {exc}",
+            elapsed=time.perf_counter() - start,
+            meta=task.meta,
+        )
+    except Exception as exc:
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return TaskResult(
+            index=task.index,
+            digest=task.digest,
+            problem=task.problem,
+            algorithm=task.algorithm,
+            g=task.g,
+            n=task.instance.n,
+            ok=False,
+            error=f"{_error_context(task)}: {detail}",
+            elapsed=time.perf_counter() - start,
+            meta=task.meta,
+        )
+    return TaskResult(
+        index=task.index,
+        digest=task.digest,
+        problem=task.problem,
+        algorithm=task.algorithm,
+        g=task.g,
+        n=task.instance.n,
+        ok=True,
+        objective=outcome.objective,
+        metrics=dict(outcome.metrics),
+        elapsed=time.perf_counter() - start,
+        meta=task.meta,
+    )

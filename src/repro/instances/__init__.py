@@ -12,6 +12,8 @@ from .gadgets import (
 )
 from .traces import bursty_trace, diurnal_trace, heavy_tailed_trace
 from .generators import (
+    PROBLEM_GENERATORS,
+    SWEEP_GENERATORS,
     random_active_time_instance,
     random_clique_instance,
     random_flexible_instance,
@@ -24,6 +26,8 @@ from .generators import (
 
 __all__ = [
     "Gadget",
+    "PROBLEM_GENERATORS",
+    "SWEEP_GENERATORS",
     "figure1",
     "figure3",
     "figure6",

@@ -14,7 +14,7 @@ import csv
 import io as _io
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from .core.jobs import Instance, Job
 
@@ -23,8 +23,11 @@ __all__ = [
     "instance_from_json",
     "save_instance",
     "load_instance",
+    "load_instances",
     "instance_to_csv",
     "instance_from_csv",
+    "instances_to_jsonl",
+    "instances_from_jsonl",
 ]
 
 
@@ -119,3 +122,37 @@ def instance_from_csv(text: str) -> Instance:
         )
         next_id = max(next_id, jid) + 1
     return Instance(tuple(jobs))
+
+
+def instances_to_jsonl(instances: Iterable[Instance]) -> str:
+    """Serialize many instances, one compact JSON object per line.
+
+    The batch engine's natural input format: a single ``.jsonl`` file
+    can carry a whole workload.
+    """
+    lines = []
+    for instance in instances:
+        payload = json.loads(instance_to_json(instance))
+        lines.append(json.dumps(payload, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def instances_from_jsonl(text: str) -> list[Instance]:
+    """Parse the output of :func:`instances_to_jsonl`."""
+    return [
+        instance_from_json(line)
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def load_instances(path: str | Path) -> list[Instance]:
+    """Read one or many instances from a file.
+
+    ``.jsonl`` files yield every instance they contain; ``.json`` and
+    ``.csv`` files yield a single-element list.
+    """
+    p = Path(path)
+    if p.suffix == ".jsonl":
+        return instances_from_jsonl(p.read_text())
+    return [load_instance(p)]

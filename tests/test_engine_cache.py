@@ -1,0 +1,103 @@
+"""Tests for the content-addressed result cache (repro.engine.cache)."""
+
+import pytest
+
+from repro.core import Instance
+from repro.engine import ResultCache, instance_digest, task_digest
+
+
+@pytest.fixture
+def inst():
+    return Instance.from_tuples([(0, 4, 2), (1, 5, 3)])
+
+
+class TestDigests:
+    def test_same_content_same_digest(self, inst):
+        clone = Instance.from_tuples([(0, 4, 2), (1, 5, 3)])
+        assert instance_digest(inst) == instance_digest(clone)
+        assert task_digest(inst, "active", "minimal", 2) == task_digest(
+            clone, "active", "minimal", 2
+        )
+
+    def test_label_does_not_affect_digest(self):
+        from repro.core import Job
+
+        plain = Instance.from_tuples([(0, 4, 2)])
+        labeled = Instance((Job(0, 4, 2, id=0, label="rigid"),))
+        assert plain == labeled  # Job.label is compare=False
+        assert instance_digest(plain) == instance_digest(labeled)
+
+    def test_job_order_matters(self):
+        a = Instance.from_tuples([(0, 4, 2), (1, 5, 3)])
+        b = Instance(tuple(reversed(a.jobs)))
+        assert instance_digest(a) != instance_digest(b)
+
+    def test_every_axis_changes_digest(self, inst):
+        base = task_digest(inst, "active", "minimal", 2)
+        assert base != task_digest(inst, "busy", "minimal", 2)
+        assert base != task_digest(inst, "active", "rounding", 2)
+        assert base != task_digest(inst, "active", "minimal", 3)
+        assert base != task_digest(
+            inst, "active", "minimal", 2, {"extra": 1}
+        )
+
+    def test_param_key_order_is_irrelevant(self, inst):
+        assert task_digest(
+            inst, "active", "minimal", 2, {"a": 1, "b": 2}
+        ) == task_digest(inst, "active", "minimal", 2, {"b": 2, "a": 1})
+
+
+class TestMemoryLayer:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", {"objective": 1.0})
+        assert cache.get("k") == {"objective": 1.0}
+        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_lru_eviction(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") is not None  # refresh a; b is now LRU
+        cache.put("c", {"v": 3})
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_returned_record_is_a_copy(self):
+        cache = ResultCache()
+        cache.put("k", {"v": 1})
+        record = cache.get("k")
+        record["v"] = 99
+        assert cache.get("k")["v"] == 1
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+
+
+class TestDiskLayer:
+    def test_roundtrip_across_instances(self, tmp_path):
+        ResultCache(directory=tmp_path).put("key", {"objective": 7.0})
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("key") == {"objective": 7.0}
+        assert fresh.stats["hits"] == 1
+
+    def test_disk_miss_counts(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        assert cache.get("absent") is None
+        assert cache.stats["misses"] == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        cache = ResultCache(directory=tmp_path)
+        assert cache.get("bad") is None
+
+    def test_clear_keeps_disk(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("key", {"v": 1})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("key") == {"v": 1}  # reloaded from disk

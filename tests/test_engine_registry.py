@@ -1,0 +1,97 @@
+"""Tests for the solver registry (repro.engine.registry)."""
+
+import pytest
+
+from repro.busytime import INTERVAL_ALGORITHMS
+from repro.engine import (
+    REGISTRY,
+    SolveOutcome,
+    SolverRegistry,
+    SolverSpec,
+    get_solver,
+    solve,
+)
+
+
+class TestCompleteness:
+    def test_every_active_algorithm_registered(self):
+        assert REGISTRY.names("active") == ("exact", "minimal", "rounding", "unit")
+
+    def test_every_interval_algorithm_registered(self):
+        expected = tuple(sorted(set(INTERVAL_ALGORITHMS) | {"exact"}))
+        assert REGISTRY.names("busy") == expected
+
+    def test_specs_have_metadata(self):
+        for spec in REGISTRY.specs():
+            assert spec.guarantee
+            assert spec.complexity
+            assert spec.description
+            assert spec.problem in ("active", "busy")
+
+    def test_exact_flags(self):
+        assert REGISTRY.get("active", "exact").exact
+        assert REGISTRY.get("busy", "exact").exact
+        assert not REGISTRY.get("active", "rounding").exact
+        assert not REGISTRY.get("busy", "greedy_tracking").exact
+
+
+class TestDispatch:
+    def test_active_matches_direct_call(self, tiny_instance):
+        from repro.activetime import minimal_feasible_schedule
+
+        outcome = solve("active", "minimal", tiny_instance, 2)
+        direct = minimal_feasible_schedule(tiny_instance, 2)
+        assert outcome.objective == pytest.approx(direct.cost)
+        assert outcome.schedule is not None
+        assert outcome.metrics["lower_bound"] > 0
+
+    def test_busy_matches_direct_call(self, interval_instance):
+        from repro.busytime import schedule_flexible
+
+        outcome = solve("busy", "greedy_tracking", interval_instance, 2)
+        direct = schedule_flexible(
+            interval_instance, 2, algorithm="greedy_tracking"
+        )
+        assert outcome.objective == pytest.approx(direct.total_busy_time)
+        assert outcome.metrics["num_machines"] == direct.num_machines
+
+    def test_busy_flexible_instance_gets_mass_bound(self, tiny_instance):
+        # Flexible jobs: the span/profile bounds would raise, so the
+        # metric must fall back to the mass bound without erroring.
+        outcome = solve("busy", "greedy_tracking", tiny_instance, 2)
+        assert outcome.metrics["lower_bound"] == pytest.approx(
+            tiny_instance.total_length / 2
+        )
+
+    def test_unknown_solver_raises_with_menu(self, tiny_instance):
+        with pytest.raises(KeyError, match="registered"):
+            get_solver("active", "does_not_exist")
+
+    def test_unknown_problem_rejected_on_register(self):
+        registry = SolverRegistry()
+        spec = SolverSpec(
+            problem="bogus",
+            name="x",
+            solve=lambda i, g: SolveOutcome(objective=0.0),
+            exact=False,
+            guarantee="-",
+            complexity="-",
+            description="-",
+        )
+        with pytest.raises(ValueError, match="unknown problem"):
+            registry.register(spec)
+
+    def test_duplicate_registration_rejected(self):
+        registry = SolverRegistry()
+        spec = SolverSpec(
+            problem="active",
+            name="x",
+            solve=lambda i, g: SolveOutcome(objective=0.0),
+            exact=False,
+            guarantee="-",
+            complexity="-",
+            description="-",
+        )
+        registry.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(spec)

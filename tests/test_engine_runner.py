@@ -1,0 +1,222 @@
+"""Tests for the batch runner, workers and sweep driver."""
+
+import pytest
+
+from repro.core import Instance
+from repro.engine import (
+    BatchRunner,
+    ResultCache,
+    SweepGrid,
+    TaskResult,
+    build_sweep_tasks,
+    default_grid,
+    execute_task,
+    make_task,
+    run_sweep,
+    write_results,
+    read_results,
+    aggregate,
+)
+
+
+def _tasks(instances, problem="active", algorithm="minimal", g=2, **kw):
+    return [
+        make_task(
+            index=i, problem=problem, algorithm=algorithm, g=g, instance=inst, **kw
+        )
+        for i, inst in enumerate(instances)
+    ]
+
+
+@pytest.fixture
+def small_instances():
+    return [
+        Instance.from_tuples([(0, 4, 2), (1, 5, 3)]),
+        Instance.from_tuples([(0, 3, 1), (2, 6, 2), (1, 4, 2)]),
+        Instance.from_tuples([(0, 2, 1)]),
+    ]
+
+
+class TestExecuteTask:
+    def test_success(self, small_instances):
+        result = execute_task(_tasks(small_instances)[0])
+        assert result.ok
+        assert result.objective is not None
+        assert result.elapsed >= 0
+        assert result.n == 2
+
+    def test_error_capture_mentions_digest_and_seed(self):
+        # Two unit jobs forced into one slot with g=1 is infeasible.
+        bad = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        task = make_task(
+            index=0,
+            problem="active",
+            algorithm="minimal",
+            g=1,
+            instance=bad,
+            meta={"seed": 12345},
+        )
+        result = execute_task(task)
+        assert not result.ok
+        assert task.digest[:12] in result.error
+        assert "seed=12345" in result.error
+
+    def test_timeout_is_captured(self, monkeypatch, small_instances):
+        import repro.engine.workers as workers
+
+        def slow_solve(problem, name, instance, g, **params):
+            import time
+
+            time.sleep(5.0)
+
+        monkeypatch.setattr(workers.REGISTRY, "solve", slow_solve)
+        task = _tasks(small_instances[:1], timeout=0.2)[0]
+        result = execute_task(task)
+        assert not result.ok
+        assert "timed out" in result.error
+        assert result.elapsed < 2.0
+
+    def test_record_roundtrip(self, small_instances):
+        result = execute_task(_tasks(small_instances)[0])
+        # ``to_record`` rounds elapsed; everything else must roundtrip.
+        restored = TaskResult.from_record(result.to_record())
+        assert restored.to_record() == result.to_record()
+
+
+class TestBatchRunner:
+    def test_serial_matches_parallel(self, small_instances):
+        tasks = _tasks(small_instances * 2)
+        # re-index the duplicated tasks
+        tasks = [
+            make_task(index=i, problem=t.problem, algorithm=t.algorithm,
+                      g=t.g, instance=t.instance)
+            for i, t in enumerate(tasks)
+        ]
+        serial = BatchRunner(jobs=1).run(tasks)
+        parallel = BatchRunner(jobs=2).run(tasks)
+        strip = lambda r: {**r.to_record(), "elapsed": 0.0}
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+        assert [r.index for r in parallel] == list(range(len(tasks)))
+
+    def test_cache_second_run_hits_every_task(self, small_instances, tmp_path):
+        tasks = _tasks(small_instances)
+        cache = ResultCache(directory=tmp_path)
+        runner = BatchRunner(jobs=1, cache=cache)
+        runner.run(tasks)
+        assert runner.last_cache_hits == 0
+        second = BatchRunner(jobs=1, cache=ResultCache(directory=tmp_path))
+        results = second.run(tasks)
+        assert second.last_cache_hits == len(tasks)
+        assert all(r.cached for r in results)
+
+    def test_failures_are_not_cached(self, tmp_path):
+        bad = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        tasks = _tasks([bad], g=1)
+        cache = ResultCache(directory=tmp_path)
+        runner = BatchRunner(jobs=1, cache=cache)
+        assert not runner.run(tasks)[0].ok
+        rerun = BatchRunner(jobs=1, cache=cache)
+        rerun.run(tasks)
+        assert rerun.last_cache_hits == 0
+
+    def test_duplicate_digests_solved_once_per_run(self, small_instances):
+        # Same instance submitted twice without any cache: the second
+        # occurrence must reuse the first result, not re-solve.
+        inst = small_instances[0]
+        tasks = [
+            make_task(index=i, problem="active", algorithm="minimal", g=2,
+                      instance=inst, meta={"copy": i})
+            for i in range(3)
+        ]
+        runner = BatchRunner(jobs=1)
+        results = runner.run(tasks)
+        assert [r.cached for r in results] == [False, True, True]
+        assert runner.last_cache_hits == 2
+        assert results[1].objective == results[0].objective
+        assert results[2].meta == {"copy": 2}  # provenance preserved
+
+    def test_failed_duplicates_are_retried_not_reused(self):
+        # Failure reuse would pin a possibly-transient error (e.g. a
+        # timeout) onto every duplicate; each must be re-executed.
+        bad = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        tasks = [
+            make_task(index=i, problem="active", algorithm="minimal", g=1,
+                      instance=bad)
+            for i in range(2)
+        ]
+        runner = BatchRunner(jobs=1)
+        results = runner.run(tasks)
+        assert [r.ok for r in results] == [False, False]
+        assert [r.cached for r in results] == [False, False]
+        assert runner.last_cache_hits == 0
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            BatchRunner(jobs=0)
+
+
+class TestSweep:
+    def test_grid_is_deterministic(self):
+        grids = [default_grid("active")]
+        a = build_sweep_tasks(grids, base_seed=7)
+        b = build_sweep_tasks(grids, base_seed=7)
+        assert [t.digest for t in a] == [t.digest for t in b]
+
+    def test_seed_shared_across_algorithms_within_cell(self):
+        grid = SweepGrid(
+            problem="active",
+            generators=("active",),
+            algorithms=("minimal", "rounding"),
+            g_values=(3,),
+            instances_per_cell=1,
+        )
+        tasks = build_sweep_tasks([grid])
+        assert len(tasks) == 2
+        assert tasks[0].instance == tasks[1].instance
+
+    def test_limit_caps_tasks(self):
+        tasks = build_sweep_tasks([default_grid("active")], limit=4)
+        assert len(tasks) == 4
+
+    def test_validate_rejects_mismatched_generator(self):
+        grid = SweepGrid(
+            problem="active", generators=("interval",), algorithms=("minimal",)
+        )
+        with pytest.raises(ValueError, match="does not produce"):
+            grid.validate()
+
+    def test_run_sweep_aggregates(self, tmp_path):
+        outcome = run_sweep(
+            [default_grid("active")], jobs=1, limit=6,
+            cache=ResultCache(directory=tmp_path),
+        )
+        assert len(outcome.results) == 6
+        assert "active/minimal" in outcome.table
+        assert "tasks: 6" in outcome.summary
+
+
+class TestResultsStore:
+    def test_jsonl_roundtrip(self, small_instances, tmp_path):
+        results = BatchRunner(jobs=1).run(_tasks(small_instances))
+        path = tmp_path / "r.jsonl"
+        assert write_results(results, path) == len(results)
+        restored = list(read_results(path))
+        assert [r.to_record() for r in restored] == [
+            r.to_record() for r in results
+        ]
+
+    def test_append_mode(self, small_instances, tmp_path):
+        results = BatchRunner(jobs=1).run(_tasks(small_instances[:1]))
+        path = tmp_path / "r.jsonl"
+        write_results(results, path)
+        write_results(results, path, append=True)
+        assert len(list(read_results(path))) == 2
+
+    def test_aggregate_counts_errors_and_hits(self, small_instances):
+        ok = BatchRunner(jobs=1).run(_tasks(small_instances))
+        bad = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        err = BatchRunner(jobs=1).run(_tasks([bad], g=1, algorithm="unit"))
+        rows = aggregate(ok + err)
+        by_cell = {r["cell"]: r for r in rows}
+        assert by_cell["active/minimal g=2"]["errors"] == 0
+        assert by_cell["active/unit g=1"]["errors"] == 1

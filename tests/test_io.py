@@ -84,3 +84,30 @@ class TestFiles:
             save_instance(tiny_instance, tmp_path / "inst.yaml")
         with pytest.raises(ValueError, match="extension"):
             load_instance(tmp_path / "inst.yaml")
+
+
+class TestJsonl:
+    def test_roundtrip(self, tiny_instance, interval_instance):
+        from repro.io import instances_from_jsonl, instances_to_jsonl
+
+        text = instances_to_jsonl([tiny_instance, interval_instance])
+        assert instances_from_jsonl(text) == [tiny_instance, interval_instance]
+
+    def test_empty(self):
+        from repro.io import instances_from_jsonl, instances_to_jsonl
+
+        assert instances_to_jsonl([]) == ""
+        assert instances_from_jsonl("") == []
+
+    def test_load_instances_dispatches_by_extension(
+        self, tiny_instance, interval_instance, tmp_path
+    ):
+        from repro.io import instances_to_jsonl, load_instances
+
+        many = tmp_path / "work.jsonl"
+        many.write_text(instances_to_jsonl([tiny_instance, interval_instance]))
+        assert load_instances(many) == [tiny_instance, interval_instance]
+
+        one = tmp_path / "one.json"
+        save_instance(tiny_instance, one)
+        assert load_instances(one) == [tiny_instance]

@@ -139,9 +139,15 @@ class TestSpecialCaseProperties:
         from repro.busytime import clique_greedy, proper_clique_exact
 
         # strictly increasing endpoints on both sides keep the instance
-        # proper even when the random source repeats values
-        lefts = sorted(pyrandom.uniform(0, 4) + i * 1e-3 for i in range(n))
-        rights = sorted(pyrandom.uniform(5, 9) + i * 1e-3 for i in range(n))
+        # proper even when the random source repeats values; the offset must
+        # be applied after sorting or distinct draws can collide (0.0+1e-3
+        # vs 0.001+0) and produce a strictly-contained window
+        lefts = [v + i * 1e-3
+                 for i, v in enumerate(sorted(pyrandom.uniform(0, 4)
+                                              for _ in range(n)))]
+        rights = [v + i * 1e-3
+                  for i, v in enumerate(sorted(pyrandom.uniform(5, 9)
+                                               for _ in range(n)))]
         inst = Instance(
             tuple(
                 Job(a, b, b - a, id=i)
