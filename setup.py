@@ -21,6 +21,7 @@ setup(
     extras_require={
         "test": ["pytest", "hypothesis"],
         "viz": ["matplotlib"],
+        "mip": ["mip>=1.14"],
     },
     entry_points={
         "console_scripts": [

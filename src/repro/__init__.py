@@ -25,6 +25,9 @@ Package layout:
 * :mod:`repro.core` — jobs, instances, interval algebra;
 * :mod:`repro.flow` — Dinic max-flow and the Figure-2 feasibility network;
 * :mod:`repro.lp` — the Section-3 LP/IP, its relaxation, exact MILP oracles;
+* :mod:`repro.solvers` — the backend-neutral LP/MILP layer
+  (:class:`~repro.solvers.LinearProgram` IR + scipy-highs / python-mip /
+  reference backends behind a capability-routing registry);
 * :mod:`repro.activetime` — minimal feasible (3-approx) and LP rounding
   (2-approx) for the active-time problem;
 * :mod:`repro.busytime` — FIRSTFIT, GREEDYTRACKING, 2-approximations,
@@ -59,6 +62,7 @@ from .busytime import (
 )
 from .core import Instance, Job
 from .lp import solve_active_time_exact, solve_active_time_lp
+from .solvers import LinearProgram, SolverResult, solve_ir
 
 __version__ = "1.0.0"
 
@@ -73,6 +77,8 @@ __all__ = [
     "__version__",
     "best_lower_bound",
     "chain_peeling_two_approx",
+    "LinearProgram",
+    "SolverResult",
     "compute_demand_profile",
     "exact_active_time",
     "exact_busy_time_interval",
@@ -87,5 +93,6 @@ __all__ = [
     "schedule_flexible",
     "solve_active_time_exact",
     "solve_active_time_lp",
+    "solve_ir",
     "unit_jobs_optimal_schedule",
 ]

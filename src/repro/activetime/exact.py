@@ -24,13 +24,18 @@ __all__ = [
 ]
 
 
-def exact_active_time(instance: Instance, g: int) -> ActiveTimeSchedule:
-    """Optimal active-time schedule via the exact MILP."""
+def exact_active_time(
+    instance: Instance, g: int, *, backend: str | None = None
+) -> ActiveTimeSchedule:
+    """Optimal active-time schedule via the exact MILP.
+
+    ``backend`` selects the MILP backend (see :mod:`repro.solvers`).
+    """
     require_integral(instance)
     require_capacity(g)
     if instance.n == 0:
         return ActiveTimeSchedule(instance, g, tuple(), {})
-    result = solve_active_time_exact(instance, g)
+    result = solve_active_time_exact(instance, g, backend=backend)
     return schedule_from_slots(instance, g, result.witness["active_slots"])
 
 

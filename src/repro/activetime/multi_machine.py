@@ -29,11 +29,11 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
 from ..core.jobs import Instance
 from ..core.validation import require_capacity, require_integral
 from ..flow.dinic import Dinic
+from ..solvers import LinearProgram, SolverBackend, solve_ir
 
 __all__ = [
     "MultiMachineSolution",
@@ -137,8 +137,32 @@ def _build_model(instance: Instance, g: int, m: int):
     return a, np.asarray(b), c, bounds_lo, bounds_hi, T
 
 
+def _multi_machine_program(
+    instance: Instance, g: int, m: int, *, integral: bool
+) -> tuple[LinearProgram, int]:
+    """The shared system as a backend-neutral IR (plus ``T``)."""
+    a, b, c, lo, hi, T = _build_model(instance, g, m)
+    integrality = np.zeros(len(c))
+    if integral:
+        integrality[:T] = 1
+    lp = LinearProgram.build(
+        c,
+        a_ub=a,
+        b_ub=b,
+        lb=lo,
+        ub=hi,
+        integrality=integrality,
+        label=f"multi-machine {'IP' if integral else 'LP'} (g={g}, m={m})",
+    )
+    return lp, T
+
+
 def multi_machine_exact(
-    instance: Instance, g: int, m: int
+    instance: Instance,
+    g: int,
+    m: int,
+    *,
+    backend: str | SolverBackend | None = None,
 ) -> MultiMachineSolution:
     """Exact minimum machine-on slots (MILP over multiplicities)."""
     require_integral(instance)
@@ -146,38 +170,36 @@ def multi_machine_exact(
     require_capacity(m)
     if instance.n == 0:
         return MultiMachineSolution(instance, g, m, tuple())
-    a, b, c, lo, hi, T = _build_model(instance, g, m)
-    integrality = np.zeros(len(c))
-    integrality[:T] = 1
-    res = milp(
-        c=c,
-        constraints=LinearConstraint(a, -np.inf, b),
-        integrality=integrality,
-        bounds=Bounds(lo, hi),
-    )
-    if res.status != 0 or res.x is None:
+    lp, T = _multi_machine_program(instance, g, m, integral=True)
+    result = solve_ir(lp, backend=backend)
+    if result.status == "infeasible":
         raise RuntimeError(
-            f"multi-machine instance infeasible for g={g}, m={m} "
-            f"({res.message})"
+            f"multi-machine instance infeasible for g={g}, m={m}"
         )
-    ks = tuple(int(round(v)) for v in res.x[:T])
+    result.require_optimal(f"multi-machine exact (g={g}, m={m})")
+    ks = tuple(int(round(v)) for v in result.x[:T])
     solution = MultiMachineSolution(instance, g, m, ks)
     solution.verify()
     return solution
 
 
-def multi_machine_lp_bound(instance: Instance, g: int, m: int) -> float:
+def multi_machine_lp_bound(
+    instance: Instance,
+    g: int,
+    m: int,
+    *,
+    backend: str | SolverBackend | None = None,
+) -> float:
     """LP relaxation value — a lower bound on the exact cost."""
     require_integral(instance)
     if instance.n == 0:
         return 0.0
-    a, b, c, lo, hi, T = _build_model(instance, g, m)
-    res = linprog(
-        c=c, A_ub=a, b_ub=b, bounds=list(zip(lo, hi)), method="highs"
-    )
-    if res.status != 0:
-        raise RuntimeError(f"multi-machine LP infeasible: {res.message}")
-    return float(res.fun)
+    lp, _ = _multi_machine_program(instance, g, m, integral=False)
+    result = solve_ir(lp, backend=backend)
+    if result.status == "infeasible":
+        raise RuntimeError(f"multi-machine LP infeasible for g={g}, m={m}")
+    result.require_optimal(f"multi-machine LP bound (g={g}, m={m})")
+    return float(result.objective)
 
 
 def multi_machine_lazy_greedy(

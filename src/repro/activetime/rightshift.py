@@ -22,10 +22,10 @@ from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np
-from scipy.optimize import linprog
 
 from ..lp.model import build_active_time_model
 from ..lp.solve import ActiveTimeLPSolution
+from ..solvers import SolverBackend, solve_ir
 
 __all__ = [
     "RightShiftedSolution",
@@ -102,28 +102,25 @@ class RightShiftedSolution:
         slot = b - int(mass)
         return (slot, frac) if slot >= a else None
 
-    def is_feasible_fractional(self) -> bool:
+    def is_feasible_fractional(
+        self, *, backend: str | SolverBackend | None = None
+    ) -> bool:
         """Check Lemma 3: a feasible fractional assignment exists for this ``y``.
 
-        Solves the feasibility program ``LP2`` with the ``y`` variables pinned
-        to the shifted values.
+        Solves the feasibility program ``LP2`` — the model's IR with a
+        zero objective and the ``y`` variables pinned to the shifted
+        values — on any registered backend.
         """
         model = build_active_time_model(self.lp.instance, self.lp.g)
         if model.num_vars == 0:
             return True
-        bounds = []
+        lp = model.to_linear_program().as_feasibility()
+        lb, ub = lp.bounds_arrays()
         for t in range(1, model.T + 1):
             v = min(1.0, max(0.0, float(self.y[t])))
-            bounds.append((v, v))
-        bounds += [(0.0, 1.0)] * (model.num_vars - model.T)
-        res = linprog(
-            c=np.zeros(model.num_vars),
-            A_ub=model.a_ub,
-            b_ub=model.b_ub,
-            bounds=bounds,
-            method="highs",
-        )
-        return res.status == 0
+            lb[t - 1] = ub[t - 1] = v
+        result = solve_ir(lp.with_bounds(lb, ub), backend=backend)
+        return result.ok
 
 
 def right_shift(lp: ActiveTimeLPSolution) -> RightShiftedSolution:

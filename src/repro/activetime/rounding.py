@@ -100,6 +100,7 @@ def round_active_time(
     *,
     lp: ActiveTimeLPSolution | None = None,
     strict: bool = False,
+    backend: str | None = None,
 ) -> RoundedSolution:
     """Run the Theorem-2 rounding algorithm end to end.
 
@@ -107,6 +108,9 @@ def round_active_time(
     ----------
     lp:
         A pre-solved optimal LP solution (solved internally when omitted).
+    backend:
+        LP backend name for the internal ``LP1`` solve (ignored when
+        ``lp`` is given); see :mod:`repro.solvers`.
     strict:
         When True, any violation of the proof's invariants (charging target
         missing, prefix infeasible after opening) raises immediately instead
@@ -122,7 +126,7 @@ def round_active_time(
     require_capacity(g)
     if instance.n == 0:
         empty = ActiveTimeSchedule(instance, g, tuple(), {})
-        lp0 = lp or solve_active_time_lp(instance, g)
+        lp0 = lp or solve_active_time_lp(instance, g, backend=backend)
         return RoundedSolution(
             schedule=empty,
             lp=lp0,
@@ -132,7 +136,7 @@ def round_active_time(
         )
 
     if lp is None:
-        lp = solve_active_time_lp(instance, g)
+        lp = solve_active_time_lp(instance, g, backend=backend)
     shifted = right_shift(lp)
     blocks = shifted.blocks
     masses = shifted.masses

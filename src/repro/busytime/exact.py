@@ -27,13 +27,18 @@ __all__ = [
 ]
 
 
-def exact_busy_time_interval(instance: Instance, g: int) -> BusyTimeSchedule:
-    """Optimal busy-time schedule for interval jobs (MILP)."""
+def exact_busy_time_interval(
+    instance: Instance, g: int, *, backend: str | None = None
+) -> BusyTimeSchedule:
+    """Optimal busy-time schedule for interval jobs (MILP).
+
+    ``backend`` selects the MILP backend (see :mod:`repro.solvers`).
+    """
     require_interval_jobs(instance)
     require_capacity(g)
     if instance.n == 0:
         return BusyTimeSchedule.from_bundle_jobs(instance, g, [])
-    result = solve_busy_time_interval_exact(instance, g)
+    result = solve_busy_time_interval_exact(instance, g, backend=backend)
     groups = [
         [instance.job_by_id(jid) for jid in bundle]
         for bundle in result.witness["bundles"]

@@ -42,6 +42,7 @@ def schedule_flexible(
     *,
     algorithm: IntervalAlgorithm = "greedy_tracking",
     starts: Mapping[int, float] | None = None,
+    backend: str | None = None,
 ) -> BusyTimeSchedule:
     """Schedule a (possibly flexible) instance for bounded ``g``.
 
@@ -55,6 +56,9 @@ def schedule_flexible(
         Optional explicit placement overriding the ``OPT_inf`` solver —
         required for non-integral flexible instances, and how the paper's
         adversarial figures pin dynamic-program outputs.
+    backend:
+        MILP backend for the ``OPT_inf`` pinning solve (only reached on
+        flexible instances without explicit ``starts``).
 
     The returned schedule's ``starts`` record the chosen placement; bundle
     jobs are the pinned interval copies.
@@ -69,7 +73,7 @@ def schedule_flexible(
         return BusyTimeSchedule.from_bundle_jobs(instance, g, [])
 
     if starts is None:
-        placement = opt_infinity(instance)
+        placement = opt_infinity(instance, backend=backend)
         chosen = placement.starts
     else:
         chosen = {j.id: starts[j.id] for j in instance.jobs}

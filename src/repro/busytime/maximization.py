@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..core.intervals import interesting_intervals, span
 from ..core.jobs import Instance, Job
 from ..core.validation import require_capacity, require_interval_jobs
+from ..solvers import LinearProgram, SolverBackend, solve_ir
 from .firstfit import fits_in_bundle
 from .schedule import BusyTimeSchedule
 
@@ -39,6 +39,7 @@ def maximize_throughput_exact(
     budget: float,
     *,
     max_machines: int | None = None,
+    backend: str | SolverBackend | None = None,
 ) -> BusyTimeSchedule:
     """Exact maximum-throughput schedule within a busy-time budget.
 
@@ -126,19 +127,23 @@ def maximize_throughput_exact(
     for (k, m), cc in z_col.items():
         c_vec[cc] = -1.0  # maximize selections
 
-    res = milp(
-        c=c_vec,
-        constraints=LinearConstraint(a, np.asarray(lb), np.asarray(ub)),
+    lp = LinearProgram.from_two_sided(
+        c_vec,
+        a,
+        np.asarray(lb),
+        np.asarray(ub),
+        lb=np.zeros(num_vars),
+        ub=np.ones(num_vars),
         integrality=np.ones(num_vars),
-        bounds=Bounds(0.0, 1.0),
+        label=f"throughput maximization (g={g}, B={budget:g})",
     )
-    if res.status != 0 or res.x is None:
-        raise RuntimeError(f"throughput MILP failed: {res.message}")
+    result = solve_ir(lp, backend=backend)
+    result.require_optimal("throughput MILP")
 
     groups: dict[int, list[Job]] = {}
     admitted: list[Job] = []
     for (k, m), cc in z_col.items():
-        if res.x[cc] > 0.5:
+        if result.x[cc] > 0.5:
             job = instance.jobs[k]
             groups.setdefault(m, []).append(job)
             admitted.append(job)

@@ -43,7 +43,9 @@ class UnboundedPlacement:
     busy_time: float
 
 
-def opt_infinity(instance: Instance) -> UnboundedPlacement:
+def opt_infinity(
+    instance: Instance, *, backend: str | None = None
+) -> UnboundedPlacement:
     """Compute ``OPT_inf`` and witnessing start times.
 
     * interval instances: starts are forced, ``OPT_inf = Sp(J)``;
@@ -59,7 +61,7 @@ def opt_infinity(instance: Instance) -> UnboundedPlacement:
             starts=starts, busy_time=span(j.window for j in instance.jobs)
         )
     if instance.is_integral:
-        result = solve_unbounded_span_exact(instance)
+        result = solve_unbounded_span_exact(instance, backend=backend)
         return UnboundedPlacement(
             starts={int(k): float(v) for k, v in result.witness["starts"].items()},
             busy_time=result.objective,

@@ -19,6 +19,10 @@ Commands
 ``gadget``
     Materialize one of the paper's constructions to a file:
     ``python -m repro gadget figure3 --g 5 --out fig3.json``
+``cache``
+    Inspect the on-disk result cache; ``--prune`` evicts oldest-mtime
+    entries down to a byte budget:
+    ``python -m repro cache --prune --budget 50M``
 ``bounds``
     Print all lower bounds for a busy-time instance.
 ``experiments``
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .analysis import format_table
@@ -48,6 +53,7 @@ from .engine import (
     ResultCache,
     SweepGrid,
     aggregate_table,
+    backend_task_params,
     default_grid,
     make_task,
     run_sweep,
@@ -65,6 +71,7 @@ from .instances import (
     lp_gap,
 )
 from .io import load_instance, load_instances, save_instance
+from .solvers import backend_names, get_backend, resolve_backend
 
 __all__ = ["main"]
 
@@ -88,12 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    backend_help = (
+        "LP/MILP backend for LP-based algorithms "
+        "(default: $REPRO_LP_BACKEND or scipy-highs)"
+    )
+
     p_active = sub.add_parser("active", help="solve an active-time instance")
     p_active.add_argument("path", help="instance file (.json or .csv)")
     p_active.add_argument("--g", type=int, required=True, help="slot capacity")
     p_active.add_argument(
         "--algorithm", choices=REGISTRY.names("active"), default="rounding"
     )
+    p_active.add_argument("--backend", default=None, help=backend_help)
 
     p_busy = sub.add_parser("busy", help="solve a busy-time instance")
     p_busy.add_argument("path", help="instance file (.json or .csv)")
@@ -103,8 +116,9 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=REGISTRY.names("busy"),
         default="greedy_tracking",
     )
+    p_busy.add_argument("--backend", default=None, help=backend_help)
 
-    sub.add_parser("algos", help="list registered solvers")
+    sub.add_parser("algos", help="list registered solvers and backends")
 
     p_sweep = sub.add_parser(
         "sweep", help="run an experiment grid through the batch engine"
@@ -133,9 +147,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--instances", type=int, default=3, help="instances per grid cell"
     )
     p_sweep.add_argument("--seed", type=int, default=2014)
+    p_sweep.add_argument("--backend", default=None, help=backend_help)
     p_sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
     p_sweep.add_argument(
-        "--timeout", type=float, default=None, help="per-task timeout (s)"
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-task timeout (s); hard (watchdog-enforced, survives "
+        "solvers stuck in native code) with --jobs >= 2, soft at the "
+        "default --jobs 1",
     )
     p_sweep.add_argument(
         "--limit", type=int, default=None, help="cap on total tasks"
@@ -166,11 +186,34 @@ def _build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--g", type=int, required=True)
     p_batch.add_argument("--algorithm", default=None,
                          help="solver name (default: rounding / greedy_tracking)")
+    p_batch.add_argument("--backend", default=None, help=backend_help)
     p_batch.add_argument("--jobs", type=int, default=1)
-    p_batch.add_argument("--timeout", type=float, default=None)
+    p_batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-task timeout (s); hard with --jobs >= 2, soft at "
+        "--jobs 1 (see sweep --timeout)",
+    )
     p_batch.add_argument("--out", default=None, help="JSONL result file")
     p_batch.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p_batch.add_argument("--no-cache", action="store_true")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk result cache"
+    )
+    p_cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p_cache.add_argument(
+        "--prune",
+        action="store_true",
+        help="evict oldest-mtime entries until the store fits --budget",
+    )
+    p_cache.add_argument(
+        "--budget",
+        default="0",
+        help="byte budget for --prune; accepts K/M/G suffixes "
+        "(default 0 = empty the store)",
+    )
 
     p_gadget = sub.add_parser("gadget", help="materialize a paper gadget")
     p_gadget.add_argument("name", choices=sorted(GADGETS))
@@ -194,11 +237,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_active(args) -> int:
     instance = load_instance(args.path)
-    outcome = REGISTRY.solve("active", args.algorithm, instance, args.g)
+    params = backend_task_params("active", args.algorithm, args.backend)
+    outcome = REGISTRY.solve(
+        "active", args.algorithm, instance, args.g, **params
+    )
     spec = REGISTRY.get("active", args.algorithm)
     schedule = outcome.schedule
     print(f"instance : {instance.describe()}")
     print(f"algorithm: {args.algorithm} ({spec.guarantee})")
+    if args.backend:
+        print(f"backend  : {args.backend}")
     print(f"active time: {schedule.cost} slots")
     print(f"active slots: {list(schedule.active_slots)}")
     for key in ("lp_objective", "ratio_vs_lp"):
@@ -209,10 +257,15 @@ def _cmd_active(args) -> int:
 
 def _cmd_busy(args) -> int:
     instance = load_instance(args.path)
-    outcome = REGISTRY.solve("busy", args.algorithm, instance, args.g)
+    params = backend_task_params("busy", args.algorithm, args.backend)
+    outcome = REGISTRY.solve(
+        "busy", args.algorithm, instance, args.g, **params
+    )
     schedule = outcome.schedule
     print(f"instance : {instance.describe()}")
     print(f"algorithm: {args.algorithm}")
+    if args.backend:
+        print(f"backend  : {args.backend}")
     print(f"busy time: {schedule.total_busy_time:g}")
     print(f"machines : {schedule.num_machines}")
     rows = [
@@ -228,8 +281,29 @@ def _cmd_algos(args) -> int:
     print(
         format_table(
             f"registered solvers ({len(rows)})",
-            ["problem", "name", "guarantee", "complexity", "description"],
+            ["problem", "name", "guarantee", "backend", "complexity",
+             "description"],
             rows,
+        )
+    )
+    print()
+    backend_rows = []
+    for name in backend_names():
+        backend = get_backend(name)
+        if backend.available():
+            status = "default" if name == "scipy-highs" else "available"
+        else:
+            status = getattr(
+                backend, "unavailable_reason", lambda: "unavailable"
+            )()
+        backend_rows.append(
+            [name, ",".join(sorted(backend.capabilities())), status]
+        )
+    print(
+        format_table(
+            f"LP/MILP backends ({len(backend_rows)})",
+            ["backend", "capabilities", "status"],
+            backend_rows,
         )
     )
     return 0
@@ -272,6 +346,10 @@ def _cmd_sweep(args) -> int:
                 f"unknown algorithm(s) {unknown} for problem "
                 f"{args.problem!r}; choose from {sorted(known)}"
             )
+    if args.backend:
+        # Same fail-fast UX as the filters above: a typo'd backend name
+        # errors with the menu instead of silently solving elsewhere.
+        resolve_backend(args.backend)
 
     grids = []
     for problem in problems:
@@ -306,6 +384,7 @@ def _cmd_sweep(args) -> int:
                 n=args.n,
                 horizon=args.horizon,
                 timeout=args.timeout,
+                backend=args.backend,
             )
         )
     if not grids:
@@ -339,6 +418,7 @@ def _cmd_batch(args) -> int:
         "rounding" if args.problem == "active" else "greedy_tracking"
     )
     REGISTRY.get(args.problem, algorithm)  # fail fast on unknown names
+    params = backend_task_params(args.problem, algorithm, args.backend)
     tasks = []
     for path in args.paths:
         loaded = load_instances(path)
@@ -351,6 +431,7 @@ def _cmd_batch(args) -> int:
                     algorithm=algorithm,
                     g=args.g,
                     instance=instance,
+                    params=params,
                     meta={"path": label},
                     timeout=args.timeout,
                 )
@@ -384,6 +465,46 @@ def _cmd_batch(args) -> int:
     for result in failures:
         print(f"error    : {result.error}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte count with optional K/M/G suffix (``"50M"`` etc.)."""
+    text = text.strip()
+    scale = {"K": 1024, "M": 1024**2, "G": 1024**3}.get(text[-1:].upper())
+    try:
+        value = int(float(text[:-1]) * scale) if scale else int(text)
+    except ValueError:
+        raise ValueError(
+            f"cannot parse byte budget {text!r}; use e.g. 1048576, 512K, "
+            "50M or 2G"
+        ) from None
+    if value < 0:
+        raise ValueError(f"byte budget must be non-negative, got {text!r}")
+    return value
+
+
+def _cmd_cache(args) -> int:
+    directory = Path(args.cache_dir)
+    if not directory.is_dir():
+        print(f"no cache directory at {directory}")
+        return 0
+    cache = ResultCache(directory=directory)
+    num, size = cache.disk_usage()
+    print(f"cache dir: {directory}")
+    print(f"entries  : {num}")
+    print(f"bytes    : {size}")
+    if args.prune:
+        budget = _parse_bytes(args.budget)
+        summary = cache.prune(budget)
+        print(
+            f"pruned   : {summary['removed']} entries "
+            f"({summary['removed_bytes']} bytes) to budget {budget}"
+        )
+        print(
+            f"kept     : {summary['kept']} entries "
+            f"({summary['kept_bytes']} bytes)"
+        )
+    return 0
 
 
 def _cmd_gadget(args) -> int:
@@ -435,6 +556,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "algos": _cmd_algos,
         "sweep": _cmd_sweep,
         "batch": _cmd_batch,
+        "cache": _cmd_cache,
         "gadget": _cmd_gadget,
         "bounds": _cmd_bounds,
         "experiments": _cmd_experiments,

@@ -22,6 +22,7 @@ from .registry import (
     SolveOutcome,
     SolverRegistry,
     SolverSpec,
+    backend_task_params,
     get_solver,
     solve,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "TaskTimeout",
     "aggregate",
     "aggregate_table",
+    "backend_task_params",
     "build_sweep_tasks",
     "canonical_task",
     "default_grid",

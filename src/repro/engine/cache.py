@@ -6,7 +6,9 @@ any extra parameters.  Two layers:
 
 * an in-memory LRU (``OrderedDict``) bounded by ``maxsize``;
 * an optional on-disk JSON store (one file per digest) so repeated
-  sweeps across process runs are near-free.
+  sweeps across process runs are near-free — bounded by an optional
+  byte budget with oldest-mtime eviction (``repro cache --prune``
+  applies the same policy from the CLI).
 
 Only JSON-serializable result records go through the cache — schedules
 stay in-process.
@@ -89,24 +91,46 @@ class ResultCache:
     ----------
     maxsize:
         Bound on the in-memory layer; least-recently-used entries are
-        evicted first.  The disk layer (when enabled) is unbounded.
+        evicted first.
     directory:
         When given, every ``put`` also writes ``<digest>.json`` here and
         ``get`` falls back to disk on a memory miss.
+    disk_budget:
+        Optional byte budget for the disk layer.  After every disk
+        write, oldest-mtime entries are evicted until the store fits;
+        ``None`` leaves the disk layer unbounded (the seed behavior).
     """
 
     def __init__(
-        self, maxsize: int = 4096, directory: str | Path | None = None
+        self,
+        maxsize: int = 4096,
+        directory: str | Path | None = None,
+        *,
+        disk_budget: int | None = None,
     ) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
+        if disk_budget is not None and disk_budget < 0:
+            raise ValueError(
+                f"disk_budget must be non-negative, got {disk_budget}"
+            )
         self.maxsize = maxsize
         self.directory = Path(directory) if directory is not None else None
+        self.disk_budget = disk_budget
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Disk entries evicted over this cache's lifetime.
+        self.evictions = 0
+        # Running estimate of disk bytes, so `put` only pays a full
+        # directory scan when the budget is actually threatened (the
+        # estimate over-counts same-key overwrites, which merely makes
+        # the next prune happen a little early).
+        self._disk_estimate = (
+            self.disk_usage()[1] if disk_budget is not None else 0
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -146,14 +170,82 @@ class ResultCache:
             # Unique tmp name: concurrent runs sharing a cache directory
             # may put the same digest; a fixed tmp name would race.
             tmp = path.with_suffix(f".{os.getpid()}.{id(self):x}.tmp")
-            tmp.write_text(json.dumps(payload, sort_keys=True))
+            text = json.dumps(payload, sort_keys=True)
+            tmp.write_text(text)
             tmp.replace(path)
+            if self.disk_budget is not None:
+                self._disk_estimate += len(text)
+                if self._disk_estimate > self.disk_budget:
+                    self.prune()
 
     def _store_memory(self, key: str, record: Mapping[str, Any]) -> None:
         self._memory[key] = dict(record)
         self._memory.move_to_end(key)
         while len(self._memory) > self.maxsize:
             self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Disk accounting and eviction
+    # ------------------------------------------------------------------
+    def disk_entries(self) -> list[tuple[Path, int, float]]:
+        """``(path, size, mtime)`` per disk entry, oldest-mtime first.
+
+        Entries racing with a concurrent eviction/write simply drop out
+        of the listing.
+        """
+        if self.directory is None:
+            return []
+        entries: list[tuple[Path, int, float]] = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((path, stat.st_size, stat.st_mtime))
+        entries.sort(key=lambda e: (e[2], e[0].name))
+        return entries
+
+    def disk_usage(self) -> tuple[int, int]:
+        """``(num_entries, total_bytes)`` of the disk layer."""
+        entries = self.disk_entries()
+        return len(entries), sum(size for _, size, _ in entries)
+
+    def prune(self, budget: int | None = None) -> dict[str, int]:
+        """Evict oldest-mtime disk entries until the store fits ``budget``.
+
+        ``budget`` defaults to the configured ``disk_budget``; passing an
+        explicit value (e.g. ``0`` to empty the store) overrides it.
+        Returns a summary: entries/bytes removed and kept.
+        """
+        if budget is None:
+            budget = self.disk_budget
+        if self.directory is None or budget is None:
+            num, size = self.disk_usage()
+            return {"removed": 0, "removed_bytes": 0,
+                    "kept": num, "kept_bytes": size}
+        entries = self.disk_entries()
+        total = sum(size for _, size, _ in entries)
+        removed = removed_bytes = 0
+        for path, size, _ in entries:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            # The memory layer may still hold the record; that is fine —
+            # eviction bounds disk, not correctness.
+            total -= size
+            removed += 1
+            removed_bytes += size
+        self.evictions += removed
+        self._disk_estimate = total  # re-anchor the running estimate
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "kept": len(entries) - removed,
+            "kept_bytes": total,
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -163,6 +255,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "size": len(self._memory),
+            "evictions": self.evictions,
         }
 
     def clear(self) -> None:

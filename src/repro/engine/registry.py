@@ -25,6 +25,7 @@ __all__ = [
     "SolverSpec",
     "SolverRegistry",
     "REGISTRY",
+    "backend_task_params",
     "get_solver",
     "solve",
 ]
@@ -51,7 +52,13 @@ class SolveOutcome:
 
 @dataclass(frozen=True)
 class SolverSpec:
-    """One registered algorithm plus its metadata."""
+    """One registered algorithm plus its metadata.
+
+    ``backend_capability`` names the LP/MILP backend capability the
+    algorithm routes through :mod:`repro.solvers` (``"lp"`` or
+    ``"milp"``); ``None`` marks purely combinatorial algorithms that
+    accept no ``backend=`` parameter.
+    """
 
     problem: str
     name: str
@@ -61,6 +68,7 @@ class SolverSpec:
     complexity: str
     description: str
     capabilities: frozenset[str] = frozenset()
+    backend_capability: str | None = None
 
     @property
     def key(self) -> tuple[str, str]:
@@ -72,6 +80,7 @@ class SolverSpec:
             self.problem,
             self.name,
             "exact" if self.exact else self.guarantee,
+            self.backend_capability or "-",
             self.complexity,
             self.description,
         ]
@@ -149,7 +158,49 @@ class SolverRegistry:
     ) -> SolveOutcome:
         """Look up and invoke a solver with a uniform signature."""
         spec = self.get(problem, name)
+        if params.get("backend") is not None and spec.backend_capability is None:
+            raise ValueError(_no_backend_message(problem, name))
         return spec.solve(instance, g, **params)
+
+
+def _no_backend_message(problem: str, name: str) -> str:
+    return (
+        f"algorithm {name!r} ({problem}) is combinatorial and does not "
+        "use an LP/MILP backend; drop --backend or pick an LP-based "
+        "algorithm (see `repro algos`)"
+    )
+
+
+def backend_task_params(
+    problem: str,
+    name: str,
+    backend: str | None,
+    *,
+    strict: bool = True,
+) -> dict[str, str]:
+    """Solver params pinning the effective LP/MILP backend for one task.
+
+    The single source of the backend-routing policy, shared by the CLI
+    and the sweep driver (their pinned names must agree byte-for-byte —
+    the name feeds the task digest, hence the cache key):
+
+    * algorithms that route through :mod:`repro.solvers` get
+      ``{"backend": <resolved name>}`` — the explicit request, else the
+      ``REPRO_LP_BACKEND``/default resolution — validated against the
+      algorithm's required capability (typos raise with the menu);
+    * combinatorial algorithms get ``{}``; explicitly naming a backend
+      for one raises when ``strict`` (single-algorithm CLI commands) and
+      is ignored when not (sweeps legitimately mix both kinds).
+    """
+    from ..solvers import resolve_backend
+
+    spec = REGISTRY.get(problem, name)
+    if spec.backend_capability is None:
+        if backend is not None and strict:
+            raise ValueError(_no_backend_message(problem, name))
+        return {}
+    chosen = resolve_backend(backend, require={spec.backend_capability})
+    return {"backend": chosen.name}
 
 
 # ----------------------------------------------------------------------
@@ -163,10 +214,12 @@ def _active_metrics(instance: Instance, g: int) -> dict[str, Any]:
     return {"lower_bound": float(lower_bound_mass(instance, g))}
 
 
-def _solve_active_rounding(instance: Instance, g: int) -> SolveOutcome:
+def _solve_active_rounding(
+    instance: Instance, g: int, backend: str | None = None
+) -> SolveOutcome:
     from ..activetime import round_active_time
 
-    sol = round_active_time(instance, g)
+    sol = round_active_time(instance, g, backend=backend)
     sol.schedule.verify()
     metrics = _active_metrics(instance, g)
     metrics.update(
@@ -192,10 +245,12 @@ def _solve_active_minimal(instance: Instance, g: int) -> SolveOutcome:
     )
 
 
-def _solve_active_exact(instance: Instance, g: int) -> SolveOutcome:
+def _solve_active_exact(
+    instance: Instance, g: int, backend: str | None = None
+) -> SolveOutcome:
     from ..activetime import exact_active_time
 
-    schedule = exact_active_time(instance, g)
+    schedule = exact_active_time(instance, g, backend=backend)
     schedule.verify()
     return SolveOutcome(
         objective=float(schedule.cost),
@@ -236,27 +291,35 @@ def _busy_outcome(schedule, instance: Instance, g: int) -> SolveOutcome:
     )
 
 
-def _make_busy_flexible(name: str) -> Callable[[Instance, int], SolveOutcome]:
-    def _solve(instance: Instance, g: int) -> SolveOutcome:
+def _make_busy_flexible(name: str) -> Callable[..., SolveOutcome]:
+    def _solve(
+        instance: Instance, g: int, backend: str | None = None
+    ) -> SolveOutcome:
         from ..busytime import schedule_flexible
 
         return _busy_outcome(
-            schedule_flexible(instance, g, algorithm=name), instance, g
+            schedule_flexible(instance, g, algorithm=name, backend=backend),
+            instance,
+            g,
         )
 
     _solve.__name__ = f"_solve_busy_{name}"
     return _solve
 
 
-def _solve_busy_exact(instance: Instance, g: int) -> SolveOutcome:
+def _solve_busy_exact(
+    instance: Instance, g: int, backend: str | None = None
+) -> SolveOutcome:
     from ..busytime import exact_busy_time_interval
 
     return _busy_outcome(
-        exact_busy_time_interval(instance, g), instance, g
+        exact_busy_time_interval(instance, g, backend=backend), instance, g
     )
 
 
-_ACTIVE_SOLVERS: tuple[tuple[str, Callable, bool, str, str, str, frozenset], ...] = (
+_ACTIVE_SOLVERS: tuple[
+    tuple[str, Callable, bool, str, str, str, frozenset, str | None], ...
+] = (
     (
         "rounding",
         _solve_active_rounding,
@@ -265,6 +328,7 @@ _ACTIVE_SOLVERS: tuple[tuple[str, Callable, bool, str, str, str, frozenset], ...
         "LP + O(n log n) rounding",
         "LP rounding with minimal barely-open slot closure",
         frozenset({"integral", "flexible"}),
+        "lp",
     ),
     (
         "minimal",
@@ -274,6 +338,7 @@ _ACTIVE_SOLVERS: tuple[tuple[str, Callable, bool, str, str, str, frozenset], ...
         "O(T * maxflow)",
         "greedy slot closure to a minimal feasible set",
         frozenset({"integral", "flexible"}),
+        None,
     ),
     (
         "exact",
@@ -283,6 +348,7 @@ _ACTIVE_SOLVERS: tuple[tuple[str, Callable, bool, str, str, str, frozenset], ...
         "MILP (exponential)",
         "integer program over slot-open variables",
         frozenset({"integral", "flexible", "expensive"}),
+        "milp",
     ),
     (
         "unit",
@@ -292,6 +358,7 @@ _ACTIVE_SOLVERS: tuple[tuple[str, Callable, bool, str, str, str, frozenset], ...
         "O(n log n)",
         "Chang-Gabow-Khuller optimal algorithm for unit jobs",
         frozenset({"integral", "unit-only"}),
+        None,
     ),
 )
 
@@ -320,7 +387,16 @@ _BUSY_FLEXIBLE_META: dict[str, tuple[str, str, str]] = {
 
 
 def _register_builtin(registry: SolverRegistry) -> None:
-    for name, fn, exact, guarantee, complexity, desc, caps in _ACTIVE_SOLVERS:
+    for (
+        name,
+        fn,
+        exact,
+        guarantee,
+        complexity,
+        desc,
+        caps,
+        backend_cap,
+    ) in _ACTIVE_SOLVERS:
         registry.register(
             SolverSpec(
                 problem="active",
@@ -331,6 +407,7 @@ def _register_builtin(registry: SolverRegistry) -> None:
                 complexity=complexity,
                 description=desc,
                 capabilities=caps,
+                backend_capability=backend_cap,
             )
         )
     from ..busytime import INTERVAL_ALGORITHMS
@@ -349,6 +426,9 @@ def _register_builtin(registry: SolverRegistry) -> None:
                 complexity=complexity,
                 description=desc,
                 capabilities=frozenset({"interval", "flexible"}),
+                # The OPT_inf pinning stage is a MILP on flexible
+                # (non-interval) instances; interval inputs bypass it.
+                backend_capability="milp",
             )
         )
     registry.register(
@@ -361,6 +441,7 @@ def _register_builtin(registry: SolverRegistry) -> None:
             complexity="MILP (exponential)",
             description="integer program over interval bundles",
             capabilities=frozenset({"interval", "expensive"}),
+            backend_capability="milp",
         )
     )
 

@@ -10,6 +10,12 @@ Design points:
 * **Graceful failure** — a solver error becomes a ``TaskResult`` with
   ``ok=False`` (annotated with digest and seed by the worker); it never
   kills the batch.
+* **Hard timeouts** — when any task carries a deadline, the parallel
+  path switches to a *watchdog pool*: dedicated worker processes served
+  over pipes, with the parent terminating and replacing any worker that
+  overruns its task's budget (``SIGALRM`` cannot interrupt a solver
+  stuck inside HiGHS C code; killing the process can).  The task gets a
+  ``timeout`` result and the batch continues on a fresh worker.
 * **Clean interrupt** — ``KeyboardInterrupt`` cancels outstanding
   futures and shuts the pool down without waiting, so Ctrl-C leaves no
   orphaned workers behind.
@@ -17,13 +23,83 @@ Design points:
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
 from typing import Sequence
 
 from .cache import ResultCache
-from .workers import Task, TaskResult, execute_task
+from .workers import Task, TaskResult, execute_task, failure_result, worker_loop
 
 __all__ = ["BatchRunner"]
+
+
+@dataclass
+class _WatchdogWorker:
+    """One dedicated worker process plus its in-flight task bookkeeping."""
+
+    proc: mp.process.BaseProcess
+    conn: object  # parent end of the pipe
+    pos: int = -1
+    task: Task | None = None
+    started: float = field(default=0.0)
+    deadline: float | None = None
+
+    @classmethod
+    def spawn(cls, ctx) -> "_WatchdogWorker":
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=worker_loop, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return cls(proc=proc, conn=parent_conn)
+
+    def dispatch(self, pos: int, task: Task, grace: float) -> None:
+        self.conn.send(task)
+        self.pos = pos
+        self.task = task
+        self.started = time.monotonic()
+        self.deadline = (
+            self.started + task.timeout + grace
+            if task.timeout is not None
+            else None
+        )
+
+    def collect(self) -> TaskResult | None:
+        """The worker's answer, or ``None`` when the process died."""
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError):
+            return None
+
+    def clear(self) -> None:
+        self.pos, self.task, self.deadline = -1, None, None
+
+    def replace(self, ctx) -> "_WatchdogWorker":
+        """Kill this worker and hand back a fresh one."""
+        self.kill()
+        return _WatchdogWorker.spawn(ctx)
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=1.0)
+
+    def shutdown(self) -> None:
+        """Polite stop for idle workers; force-kill anything still busy."""
+        if self.task is None and self.proc.is_alive():
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        self.kill()
 
 
 class BatchRunner:
@@ -38,15 +114,32 @@ class BatchRunner:
     cache:
         Optional result cache consulted before dispatch and updated
         with every successful result.
+    watchdog_grace:
+        Extra seconds the parent allows past a task's ``timeout`` before
+        terminating the worker — headroom for the in-worker ``SIGALRM``
+        to fire first (it produces a cheaper, stack-annotated failure).
     """
 
-    def __init__(self, jobs: int = 1, cache: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        *,
+        watchdog_grace: float = 1.0,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if watchdog_grace < 0:
+            raise ValueError(
+                f"watchdog_grace must be >= 0, got {watchdog_grace}"
+            )
         self.jobs = jobs
         self.cache = cache
+        self.watchdog_grace = watchdog_grace
         #: Number of cache hits in the most recent :meth:`run`.
         self.last_cache_hits = 0
+        #: Workers killed by the watchdog in the most recent :meth:`run`.
+        self.last_watchdog_kills = 0
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[Task]) -> list[TaskResult]:
@@ -62,6 +155,7 @@ class BatchRunner:
         first_by_digest: dict[str, int] = {}
         dup_of: dict[int, int] = {}
         self.last_cache_hits = 0
+        self.last_watchdog_kills = 0
 
         for pos, task in enumerate(tasks):
             hit = self._cache_lookup(task)
@@ -78,14 +172,11 @@ class BatchRunner:
             pending_pos.append(pos)
 
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                executed = [execute_task(t) for t in pending]
-            else:
-                executed = self._run_parallel(pending)
-            for pos, result in zip(pending_pos, executed):
+            for pos, result in zip(pending_pos, self._execute(pending)):
                 results[pos] = result
                 self._cache_store(result)
 
+        retry: list[tuple[int, Task]] = []
         for pos, first in dup_of.items():
             source = results[first]
             if source is not None and source.ok:
@@ -94,9 +185,113 @@ class BatchRunner:
             else:
                 # Mirrors _cache_store's policy: failures (timeouts,
                 # transient errors) are retried, never reused.
-                results[pos] = execute_task(tasks[pos])
-                self._cache_store(results[pos])
+                retry.append((pos, tasks[pos]))
+        if retry:
+            # Same dispatch as the first wave, so deadlined retries keep
+            # the watchdog (an inline retry of a natively-wedged solve
+            # would hang the parent past its timeout).
+            executed = self._execute([t for _, t in retry])
+            for (pos, _), result in zip(retry, executed):
+                results[pos] = result
+                self._cache_store(result)
 
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    def _execute(self, pending: Sequence[Task]) -> list[TaskResult]:
+        """Dispatch one wave of tasks to the right execution strategy.
+
+        Deadlined tasks need the watchdog even when only one is pending
+        — the serial path's SIGALRM cannot interrupt a solver stuck in
+        native code.  jobs=1 stays in-process by contract (solvers
+        registered only in this process), so its timeouts remain soft.
+        """
+        if self.jobs > 1 and any(t.timeout is not None for t in pending):
+            return self._run_watchdog(pending)
+        if self.jobs == 1 or len(pending) == 1:
+            return [execute_task(t) for t in pending]
+        return self._run_parallel(pending)
+
+    # ------------------------------------------------------------------
+    # Watchdog pool (used whenever any pending task carries a timeout)
+    # ------------------------------------------------------------------
+    def _run_watchdog(self, pending: Sequence[Task]) -> list[TaskResult]:
+        """Run tasks on dedicated workers, killing any that overrun.
+
+        Each worker owns one pipe and one task at a time, so the parent
+        always knows which task a worker holds and since when.  On
+        overrun (or worker death) the task gets a failure result, the
+        process is terminated, and a replacement worker is spawned.
+        """
+        ctx = mp.get_context()
+        results: list[TaskResult | None] = [None] * len(pending)
+        queue: list[tuple[int, Task]] = list(enumerate(pending))
+        queue.reverse()  # pop() from the tail keeps task order
+        workers: list[_WatchdogWorker] = [
+            _WatchdogWorker.spawn(ctx)
+            for _ in range(min(self.jobs, len(pending)))
+        ]
+        done = 0
+        try:
+            while done < len(pending):
+                for i, worker in enumerate(workers):
+                    if worker.task is not None or not queue:
+                        continue
+                    pos, task = queue.pop()
+                    try:
+                        worker.dispatch(pos, task, self.watchdog_grace)
+                    except (BrokenPipeError, OSError):
+                        # Worker died while idle: one fresh worker gets
+                        # one retry, then the task is marked failed.
+                        workers[i] = worker = worker.replace(ctx)
+                        try:
+                            worker.dispatch(pos, task, self.watchdog_grace)
+                        except (BrokenPipeError, OSError):
+                            results[pos] = failure_result(
+                                task, "could not dispatch to worker", 0.0
+                            )
+                            done += 1
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    continue  # nothing in flight; re-check done/queue
+                now = time.monotonic()
+                wait_for = min(
+                    (w.deadline - now for w in busy if w.deadline is not None),
+                    default=None,
+                )
+                ready = connection_wait(
+                    [w.conn for w in busy],
+                    timeout=None if wait_for is None else max(wait_for, 0.0),
+                )
+                now = time.monotonic()
+                for worker in list(busy):
+                    if worker.conn in ready:
+                        result = worker.collect()
+                        if result is None:  # worker died mid-task
+                            result = failure_result(
+                                worker.task,
+                                "worker process died (killed or crashed)",
+                                now - worker.started,
+                            )
+                            workers[workers.index(worker)] = worker.replace(
+                                ctx
+                            )
+                        results[worker.pos] = result
+                        worker.clear()
+                        done += 1
+                    elif worker.deadline is not None and now > worker.deadline:
+                        results[worker.pos] = failure_result(
+                            worker.task,
+                            f"timed out after {worker.task.timeout:g}s "
+                            "(worker terminated by watchdog)",
+                            now - worker.started,
+                        )
+                        done += 1
+                        self.last_watchdog_kills += 1
+                        workers[workers.index(worker)] = worker.replace(ctx)
+        finally:
+            for worker in workers:
+                worker.shutdown()
         return [r for r in results if r is not None]
 
     # ------------------------------------------------------------------

@@ -14,8 +14,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..instances import PROBLEM_GENERATORS, SWEEP_GENERATORS
+from ..solvers import resolve_backend
 from .cache import ResultCache
-from .registry import REGISTRY
+from .registry import REGISTRY, backend_task_params
 from .results import aggregate_table
 from .runner import BatchRunner
 from .workers import Task, TaskResult, make_task
@@ -35,7 +36,12 @@ def _default_algorithms(problem: str) -> tuple[str, ...]:
 
 @dataclass(frozen=True)
 class SweepGrid:
-    """One problem's slice of a sweep grid."""
+    """One problem's slice of a sweep grid.
+
+    ``backend`` routes every LP/MILP-based algorithm in the grid through
+    the named :mod:`repro.solvers` backend; combinatorial algorithms
+    ignore it (capability routing).  ``None`` keeps the default backend.
+    """
 
     problem: str
     generators: tuple[str, ...]
@@ -45,6 +51,7 @@ class SweepGrid:
     n: int = 10
     horizon: int = 20
     timeout: float | None = None
+    backend: str | None = None
 
     def validate(self) -> None:
         if self.problem not in PROBLEM_GENERATORS:
@@ -66,6 +73,21 @@ class SweepGrid:
                 )
         for name in self.algorithms:
             REGISTRY.get(self.problem, name)  # raises KeyError if unknown
+        if self.backend is not None:
+            # Typos get the backend menu; capability needs are checked
+            # per algorithm when tasks are expanded.
+            resolve_backend(self.backend)
+
+    def task_params(self, algorithm: str) -> dict[str, str]:
+        """Per-task params for ``algorithm`` under this grid's backend.
+
+        Delegates to :func:`~repro.engine.registry.backend_task_params`
+        (non-strict: a grid legitimately mixes LP-based and
+        combinatorial algorithms, the latter simply get no param).
+        """
+        return backend_task_params(
+            self.problem, algorithm, self.backend, strict=False
+        )
 
 
 def default_grid(problem: str) -> SweepGrid:
@@ -129,6 +151,7 @@ def build_sweep_tasks(
                         algorithm=algorithm,
                         g=g,
                         instance=instance,
+                        params=grid.task_params(algorithm),
                         meta={
                             "generator": gen,
                             "seed": seed,

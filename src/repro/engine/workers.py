@@ -5,15 +5,21 @@ solver through :data:`repro.engine.registry.REGISTRY`, so nothing
 unpicklable crosses the process boundary and spawned interpreters work
 exactly like forked ones.
 
-Per-task timeouts use ``SIGALRM`` (POSIX); on platforms without it the
-timeout is ignored rather than failing.  Limitation: a signal only
-interrupts Python bytecode, so a solver deep inside a native call
-(e.g. the scipy/HiGHS MILP backend) overruns its budget until the
-interpreter regains control; a hard bound on native solvers needs a
-watchdog that kills the worker process (see ROADMAP).  Every error is captured into
-the result record — annotated with the task's content digest and seed
-so a failing instance can be regenerated — instead of tearing down the
-pool.
+Per-task timeouts have two enforcement layers:
+
+* ``SIGALRM`` (POSIX) inside the worker — cheap, but a signal only
+  interrupts Python bytecode, so a solver deep inside a native call
+  (e.g. the scipy/HiGHS MILP backend) overruns its budget until the
+  interpreter regains control;
+* the **parent-side watchdog** in :class:`~repro.engine.runner.BatchRunner`
+  — workers run :func:`worker_loop` over a pipe, the parent tracks each
+  task's deadline, and a worker that overruns (stuck in native code, or
+  dead) is terminated and replaced, with a ``timeout`` result recorded
+  for its task.
+
+Every error is captured into the result record — annotated with the
+task's content digest and seed so a failing instance can be regenerated
+— instead of tearing down the pool.
 """
 
 from __future__ import annotations
@@ -29,7 +35,15 @@ from ..core.jobs import Instance
 from .cache import task_digest
 from .registry import REGISTRY
 
-__all__ = ["Task", "TaskResult", "TaskTimeout", "execute_task", "make_task"]
+__all__ = [
+    "Task",
+    "TaskResult",
+    "TaskTimeout",
+    "execute_task",
+    "failure_result",
+    "make_task",
+    "worker_loop",
+]
 
 
 class TaskTimeout(Exception):
@@ -173,6 +187,47 @@ def _error_context(task: Task) -> str:
     )
 
 
+def failure_result(task: Task, error: str, elapsed: float) -> TaskResult:
+    """A failed :class:`TaskResult` for ``task`` with full error context.
+
+    Used by the worker for in-process failures and by the parent-side
+    watchdog for tasks whose worker had to be killed.
+    """
+    return TaskResult(
+        index=task.index,
+        digest=task.digest,
+        problem=task.problem,
+        algorithm=task.algorithm,
+        g=task.g,
+        n=task.instance.n,
+        ok=False,
+        error=f"{_error_context(task)}: {error}",
+        elapsed=elapsed,
+        meta=task.meta,
+    )
+
+
+def worker_loop(conn) -> None:
+    """Child-process main for the watchdog pool: serve tasks over a pipe.
+
+    Receives :class:`Task` objects, answers each with a
+    :class:`TaskResult`; a ``None`` message (or a closed pipe) shuts the
+    worker down.  Must stay importable at module top level so spawned
+    interpreters can resolve it.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        try:
+            conn.send(execute_task(task))
+        except (BrokenPipeError, OSError):  # parent went away
+            return
+
+
 def execute_task(task: Task) -> TaskResult:
     """Run one task, capturing any failure into the result.
 
@@ -194,32 +249,10 @@ def execute_task(task: Task) -> TaskResult:
     except KeyboardInterrupt:
         raise
     except TaskTimeout as exc:
-        return TaskResult(
-            index=task.index,
-            digest=task.digest,
-            problem=task.problem,
-            algorithm=task.algorithm,
-            g=task.g,
-            n=task.instance.n,
-            ok=False,
-            error=f"{_error_context(task)}: {exc}",
-            elapsed=time.perf_counter() - start,
-            meta=task.meta,
-        )
+        return failure_result(task, str(exc), time.perf_counter() - start)
     except Exception as exc:
         detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
-        return TaskResult(
-            index=task.index,
-            digest=task.digest,
-            problem=task.problem,
-            algorithm=task.algorithm,
-            g=task.g,
-            n=task.instance.n,
-            ok=False,
-            error=f"{_error_context(task)}: {detail}",
-            elapsed=time.perf_counter() - start,
-            meta=task.meta,
-        )
+        return failure_result(task, detail, time.perf_counter() - start)
     return TaskResult(
         index=task.index,
         digest=task.digest,

@@ -1,4 +1,4 @@
-"""Exact solvers via mixed-integer programming (HiGHS through scipy).
+"""Exact solvers via mixed-integer programming (backend-neutral).
 
 The paper proves its approximation guarantees analytically; to *measure*
 ratios empirically we need the true optima.  On the paper's gadgets the optima
@@ -23,6 +23,10 @@ from the MILPs assembled here:
 
 All four require integral data; busy-time interval jobs may be real-valued
 since only interesting-interval lengths enter the objective.
+
+Every formulation is emitted as a :class:`~repro.solvers.ir.LinearProgram`
+and routed through :func:`repro.solvers.solve_ir`, so ``backend=`` selects
+any registered MILP backend (scipy-HiGHS by default).
 """
 
 from __future__ import annotations
@@ -31,7 +35,6 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..core.intervals import interesting_intervals
 from ..core.jobs import Instance, Job
@@ -40,6 +43,7 @@ from ..core.validation import (
     require_integral,
     require_interval_jobs,
 )
+from ..solvers import LinearProgram, SolverBackend, solve_ir
 from .model import build_active_time_model
 
 __all__ = [
@@ -62,23 +66,35 @@ class MilpResult:
         return self.objective
 
 
-def _run_milp(c, a, lb, ub, integrality, bounds) -> np.ndarray:
-    constraints = LinearConstraint(a, lb, ub)
-    res = milp(
-        c=c,
-        constraints=constraints,
+def _run_milp(
+    c, a, lb, ub, integrality, *, backend=None, label: str = "MILP"
+) -> np.ndarray:
+    """Translate two-sided rows into the IR and route to a backend."""
+    num_vars = len(np.asarray(c).ravel())
+    lp = LinearProgram.from_two_sided(
+        c,
+        a,
+        lb,
+        ub,
+        lb=np.zeros(num_vars),
+        ub=np.ones(num_vars),
         integrality=integrality,
-        bounds=bounds,
+        label=label,
     )
-    if res.status != 0 or res.x is None:
-        raise RuntimeError(f"MILP failed: status={res.status} ({res.message})")
-    return res.x
+    result = solve_ir(lp, backend=backend)
+    result.require_optimal(label)
+    return result.x
 
 
 # ----------------------------------------------------------------------
 # Active time (exact)
 # ----------------------------------------------------------------------
-def solve_active_time_exact(instance: Instance, g: int) -> MilpResult:
+def solve_active_time_exact(
+    instance: Instance,
+    g: int,
+    *,
+    backend: str | SolverBackend | None = None,
+) -> MilpResult:
     """Exact minimum active time (Section 2/3 objective).
 
     Returns a :class:`MilpResult` whose witness contains ``active_slots``
@@ -90,16 +106,12 @@ def solve_active_time_exact(instance: Instance, g: int) -> MilpResult:
     model = build_active_time_model(instance, g)
     if instance.n == 0:
         return MilpResult(0.0, {"active_slots": []})
-    integrality = np.zeros(model.num_vars)
-    integrality[: model.T] = 1  # y binary, x continuous
-    z = _run_milp(
-        c=model.objective,
-        a=model.a_ub,
-        lb=-np.inf,
-        ub=model.b_ub,
-        integrality=integrality,
-        bounds=Bounds(0.0, 1.0),
+    # y binary, x continuous: emitted directly by the model.
+    result = solve_ir(
+        model.to_linear_program(integral=True), backend=backend
     )
+    result.require_optimal(f"active-time exact (g={g})")
+    z = result.x
     y, _ = model.extract(z)
     active = [t for t in range(1, model.T + 1) if y[t] > 0.5]
     return MilpResult(float(len(active)), {"active_slots": active})
@@ -109,7 +121,11 @@ def solve_active_time_exact(instance: Instance, g: int) -> MilpResult:
 # Busy time, interval jobs (exact)
 # ----------------------------------------------------------------------
 def solve_busy_time_interval_exact(
-    instance: Instance, g: int, *, max_machines: int | None = None
+    instance: Instance,
+    g: int,
+    *,
+    max_machines: int | None = None,
+    backend: str | SolverBackend | None = None,
 ) -> MilpResult:
     """Exact minimum busy time for an interval-job instance.
 
@@ -196,7 +212,8 @@ def solve_busy_time_interval_exact(
         lb=np.asarray(lb),
         ub=np.asarray(ub),
         integrality=np.ones(num_vars),
-        bounds=Bounds(0.0, 1.0),
+        backend=backend,
+        label=f"busy-time interval exact (g={g})",
     )
 
     bundles: dict[int, list[int]] = {}
@@ -211,7 +228,11 @@ def solve_busy_time_interval_exact(
 # ----------------------------------------------------------------------
 # Unbounded-capacity span minimization (OPT_inf)
 # ----------------------------------------------------------------------
-def solve_unbounded_span_exact(instance: Instance) -> MilpResult:
+def solve_unbounded_span_exact(
+    instance: Instance,
+    *,
+    backend: str | SolverBackend | None = None,
+) -> MilpResult:
     """Exact ``OPT_inf``: place every job to minimize the busy-time span.
 
     Requires integral data; jobs start at integral times (for integral
@@ -289,7 +310,8 @@ def solve_unbounded_span_exact(instance: Instance) -> MilpResult:
         lb=np.asarray(lb),
         ub=np.asarray(ub),
         integrality=np.ones(num_vars),
-        bounds=Bounds(0.0, 1.0),
+        backend=backend,
+        label="unbounded span exact",
     )
     starts = {
         jid: float(s) for (jid, s), cc in start_col.items() if z[cc] > 0.5
@@ -301,7 +323,11 @@ def solve_unbounded_span_exact(instance: Instance) -> MilpResult:
 # Busy time, flexible jobs (exact; tiny instances)
 # ----------------------------------------------------------------------
 def solve_busy_time_flexible_exact(
-    instance: Instance, g: int, *, max_machines: int | None = None
+    instance: Instance,
+    g: int,
+    *,
+    max_machines: int | None = None,
+    backend: str | SolverBackend | None = None,
 ) -> MilpResult:
     """Exact busy time for flexible jobs with bounded ``g`` (integral data).
 
@@ -390,7 +416,8 @@ def solve_busy_time_flexible_exact(
         lb=np.asarray(lb),
         ub=np.asarray(ub),
         integrality=np.ones(num_vars),
-        bounds=Bounds(0.0, 1.0),
+        backend=backend,
+        label=f"busy-time flexible exact (g={g})",
     )
     starts: dict[int, float] = {}
     machines: dict[int, int] = {}

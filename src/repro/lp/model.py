@@ -9,8 +9,10 @@ Section 3 of the paper introduces the natural IP::
          y_t, x_{t,j} in {0, 1};  x_{t,j} = 0 outside j's window
 
 ``LP1`` relaxes the integrality to ``0 <= y_t <= 1`` and ``x_{t,j} >= 0``.
-This module builds the constraint matrices once, in scipy sparse (COO) form,
-so they can be handed to either ``linprog`` (relaxation) or ``milp`` (exact).
+This module builds the constraint matrices once and emits them as a
+backend-neutral :class:`~repro.solvers.ir.LinearProgram`
+(:meth:`ActiveTimeModel.to_linear_program`), so the same assembled system
+serves the relaxation, the exact MILP, and every registered solver backend.
 
 Variable layout: ``y_t`` occupies column ``t - 1`` for ``t = 1..T``; the
 ``x_{t,j}`` variables for feasible ``(job, slot)`` pairs follow, in job-major
@@ -27,6 +29,7 @@ from scipy import sparse
 
 from ..core.jobs import Instance
 from ..core.validation import require_capacity, require_integral
+from ..solvers import LinearProgram
 
 __all__ = ["ActiveTimeModel", "build_active_time_model"]
 
@@ -81,6 +84,40 @@ class ActiveTimeModel:
         accepted for symmetry with the MILP path (bounds are identical).
         """
         return [(0.0, 1.0)] * self.num_vars
+
+    def variable_names(self) -> tuple[str, ...]:
+        """Per-column labels (``y[t]`` then ``x[j,t]``) for diagnostics."""
+        names = [f"y[{t}]" for t in range(1, self.T + 1)]
+        names.extend(
+            f"x[{jid},{t}]"
+            for (jid, t), _ in sorted(
+                self.x_index.items(), key=lambda kv: kv[1]
+            )
+        )
+        return tuple(names)
+
+    def to_linear_program(self, *, integral: bool = False) -> LinearProgram:
+        """Emit the backend-neutral IR for this model.
+
+        ``integral=False`` is ``LP1`` (the Section-3 relaxation);
+        ``integral=True`` marks the ``y`` columns binary — the exact
+        formulation (``x`` stays continuous; see :mod:`repro.lp.milp`
+        for why that is sufficient).
+        """
+        integrality = np.zeros(self.num_vars)
+        if integral:
+            integrality[: self.T] = 1
+        return LinearProgram.build(
+            self.objective,
+            a_ub=self.a_ub,
+            b_ub=self.b_ub,
+            lb=np.zeros(self.num_vars),
+            ub=np.ones(self.num_vars),
+            integrality=integrality,
+            names=self.variable_names(),
+            label=f"active-time {'IP' if integral else 'LP1'} "
+            f"(n={self.instance.n}, T={self.T}, g={self.g})",
+        )
 
     def extract(
         self, z: np.ndarray

@@ -1,10 +1,11 @@
 """Solving the active-time LP relaxation (``LP1`` of Section 3).
 
-Wraps :func:`scipy.optimize.linprog` (HiGHS) around the sparse model from
-:mod:`repro.lp.model` and post-processes the raw vector into the quantities
-the rounding algorithm consumes: the fractional slot openings ``y_t``, the
-fractional assignments ``x_{t,j}``, and the per-deadline masses ``Y_i``
-(Definition 6).
+A thin translator: the sparse model from :mod:`repro.lp.model` is emitted
+as a backend-neutral IR, routed through :func:`repro.solvers.solve_ir`
+(scipy-HiGHS by default, any registered backend via ``backend=``), and the
+raw solution vector is post-processed into the quantities the rounding
+algorithm consumes: the fractional slot openings ``y_t``, the fractional
+assignments ``x_{t,j}``, and the per-deadline masses ``Y_i`` (Definition 6).
 """
 
 from __future__ import annotations
@@ -12,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import linprog
 
 from ..core.jobs import Instance
+from ..solvers import SolverBackend, solve_ir
 from .model import ActiveTimeModel, build_active_time_model
 
 __all__ = ["ActiveTimeLPSolution", "solve_active_time_lp"]
@@ -102,16 +103,28 @@ class ActiveTimeLPSolution:
 
 
 def solve_active_time_lp(
-    instance: Instance, g: int, *, model: ActiveTimeModel | None = None
+    instance: Instance,
+    g: int,
+    *,
+    model: ActiveTimeModel | None = None,
+    backend: str | SolverBackend | None = None,
 ) -> ActiveTimeLPSolution:
     """Solve ``LP1`` to optimality and package the solution.
+
+    Parameters
+    ----------
+    model:
+        A pre-built constraint system (assembled internally when omitted).
+    backend:
+        Solver backend name or instance (default: registry resolution —
+        ``REPRO_LP_BACKEND`` env var, then ``scipy-highs``).
 
     Raises
     ------
     RuntimeError
         If the LP is infeasible — i.e. the instance itself cannot be
         scheduled even with every slot open (for example, more than ``g``
-        unit jobs sharing a single-slot window).
+        unit jobs sharing a single-slot window) — or the backend fails.
     """
     if model is None:
         model = build_active_time_model(instance, g)
@@ -120,20 +133,14 @@ def solve_active_time_lp(
             model=model, objective=0.0, y=np.zeros(1), x={}
         )
 
-    res = linprog(
-        c=model.objective,
-        A_ub=model.a_ub,
-        b_ub=model.b_ub,
-        bounds=model.variable_bounds(),
-        method="highs",
-    )
-    if res.status != 0:
+    result = solve_ir(model.to_linear_program(), backend=backend)
+    if result.status == "infeasible":
         raise RuntimeError(
-            f"LP1 could not be solved (status={res.status}: {res.message}); "
-            "the instance is infeasible for capacity g="
-            f"{g}" if res.status == 2 else f"LP solver failure: {res.message}"
+            f"LP1 could not be solved ({result.backend}: infeasible); "
+            f"the instance is infeasible for capacity g={g}"
         )
-    y, x = model.extract(res.x)
+    result.require_optimal("LP1")
+    y, x = model.extract(result.x)
     return ActiveTimeLPSolution(
-        model=model, objective=float(res.fun), y=y, x=x
+        model=model, objective=float(result.objective), y=y, x=x
     )

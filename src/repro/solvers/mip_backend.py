@@ -1,0 +1,157 @@
+"""Optional backend: the ``python-mip`` modeling library (CBC/HiGHS/Gurobi).
+
+``mip`` is not a hard dependency — this module imports it lazily and the
+backend reports itself unavailable when the package is missing, so the
+registry can list it (greyed out) without ever raising at import time.
+Install with ``pip install repro-changkm14[mip]``.
+
+The adapter translates the sparse IR row-by-row into a ``mip.Model`` —
+the same shape as python-mip's own HiGHS adapter builds its models —
+and maps ``OptimizationStatus`` onto the shared status vocabulary.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+import numpy as np
+
+from .base import SolverResult
+from .ir import LinearProgram
+
+__all__ = ["PythonMipBackend"]
+
+try:  # soft dependency: absence is a capability fact, not an error
+    import mip as _mip
+except Exception:  # pragma: no cover - exercised only without the package
+    _mip = None
+
+
+class PythonMipBackend:
+    """LP/MILP via the ``python-mip`` modeling layer (default CBC)."""
+
+    name = "mip"
+
+    def __init__(self, solver_name: str = "") -> None:
+        #: Forwarded to ``mip.Model`` ("" lets mip pick CBC/Gurobi).
+        self.solver_name = solver_name
+
+    def capabilities(self) -> frozenset[str]:
+        return frozenset({"lp", "milp", "warm-start"})
+
+    def available(self) -> bool:
+        return _mip is not None
+
+    @staticmethod
+    def unavailable_reason() -> str:
+        """Human-readable install hint for menus and error messages."""
+        return "python-mip is not installed (pip install 'mip>=1.14')"
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        lp: LinearProgram,
+        *,
+        time_limit: float | None = None,
+        options: Mapping[str, Any] | None = None,
+    ) -> SolverResult:
+        if _mip is None:
+            raise RuntimeError(
+                f"backend {self.name!r} unavailable: "
+                f"{self.unavailable_reason()}"
+            )
+        start = time.perf_counter()
+        if lp.num_vars == 0:
+            return SolverResult(
+                status="optimal",
+                backend=self.name,
+                objective=0.0,
+                x=np.zeros(0),
+                elapsed=time.perf_counter() - start,
+            )
+        options = dict(options or {})
+        model = _mip.Model(
+            sense=_mip.MINIMIZE, solver_name=self.solver_name
+        )
+        model.verbose = 0
+
+        lb, ub = lp.bounds_arrays()
+        integrality = lp.integrality_array()
+        variables = [
+            model.add_var(
+                lb=float(lb[i]),
+                ub=float(ub[i]),
+                var_type=(
+                    _mip.INTEGER if integrality[i] > 0 else _mip.CONTINUOUS
+                ),
+                name=lp.names[i] if lp.names else f"x{i}",
+            )
+            for i in range(lp.num_vars)
+        ]
+        model.objective = _mip.xsum(
+            float(coef) * variables[i]
+            for i, coef in enumerate(lp.c)
+            if coef != 0.0
+        )
+        self._add_rows(model, variables, lp.a_ub, lp.b_ub, equality=False)
+        self._add_rows(model, variables, lp.a_eq, lp.b_eq, equality=True)
+
+        # python-mip's warm-start hook: a (var, value) list seeds the
+        # incumbent so branch-and-bound starts from a known solution.
+        warm = options.pop("warm_start", None)
+        if warm is not None:
+            model.start = [
+                (variables[i], float(v)) for i, v in enumerate(warm)
+            ]
+        kwargs = {}
+        if time_limit is not None:
+            kwargs["max_seconds"] = float(time_limit)
+        status = model.optimize(**kwargs)
+        elapsed = time.perf_counter() - start
+
+        mapped = self._map_status(status, time_limit)
+        if mapped != "optimal":
+            return SolverResult(
+                status=mapped,
+                backend=self.name,
+                message=f"python-mip status {status}",
+                elapsed=elapsed,
+            )
+        x = np.array([float(v.x) for v in variables])
+        return SolverResult(
+            status="optimal",
+            backend=self.name,
+            objective=float(model.objective_value),
+            x=x,
+            elapsed=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_rows(model, variables, a, b, *, equality: bool) -> None:
+        if a is None:
+            return
+        indptr, indices, data = a.indptr, a.indices, a.data
+        for row in range(a.shape[0]):
+            lo, hi = indptr[row], indptr[row + 1]
+            expr = _mip.xsum(
+                float(data[k]) * variables[indices[k]] for k in range(lo, hi)
+            )
+            rhs = float(b[row])
+            model.add_constr(expr == rhs if equality else expr <= rhs)
+
+    @staticmethod
+    def _map_status(status, time_limit) -> str:
+        S = _mip.OptimizationStatus
+        if status == S.OPTIMAL:
+            return "optimal"
+        if status in (S.INFEASIBLE, S.INT_INFEASIBLE):
+            return "infeasible"
+        if status == S.UNBOUNDED:
+            return "unbounded"
+        if status in (S.FEASIBLE, S.NO_SOLUTION_FOUND):
+            # Feasible-but-not-proven within a budget is a timeout; the
+            # same statuses without a budget indicate solver trouble.
+            return "timeout" if time_limit is not None else "error"
+        return "error"

@@ -1,0 +1,185 @@
+"""Backend registry: name -> :class:`SolverBackend`, with capability routing.
+
+Selection rules, in order:
+
+1. an explicit ``backend=`` argument (a name or a backend instance) wins;
+2. otherwise the ``REPRO_LP_BACKEND`` environment variable;
+3. otherwise the default (``scipy-highs``), falling back to the first
+   *available* backend that has every required capability.
+
+A typo'd name raises ``ValueError`` carrying the full backend menu —
+the same UX as the sweep CLI's generator/algorithm filters — so scripts
+fail loudly instead of silently running a different solver.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+from typing import Any, Iterable, Mapping
+
+from .base import SolverBackend, SolverResult
+from .ir import LinearProgram
+from .mip_backend import PythonMipBackend
+from .reference import ReferenceBackend
+from .scipy_backend import ScipyHighsBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "available_backend_names",
+    "backend_menu",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "solve_ir",
+]
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "REPRO_LP_BACKEND"
+
+#: The backend used when nothing is requested anywhere.
+DEFAULT_BACKEND = "scipy-highs"
+
+_BACKENDS: dict[str, SolverBackend] = {}
+
+
+def register_backend(backend: SolverBackend) -> SolverBackend:
+    """Add a backend instance; duplicate names are an error."""
+    if backend.name in _BACKENDS:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def available_backend_names() -> tuple[str, ...]:
+    """Names of backends whose dependencies are importable here."""
+    return tuple(
+        name for name in backend_names() if _BACKENDS[name].available()
+    )
+
+
+def backend_menu() -> str:
+    """Human-readable list of backends with availability notes."""
+    parts = []
+    for name in backend_names():
+        backend = _BACKENDS[name]
+        if backend.available():
+            caps = ",".join(sorted(backend.capabilities()))
+            parts.append(f"{name} ({caps})")
+        else:
+            reason = getattr(backend, "unavailable_reason", lambda: "")()
+            parts.append(f"{name} (unavailable: {reason})" if reason
+                         else f"{name} (unavailable)")
+    return "; ".join(parts)
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look one backend up by name; unknown names get the full menu."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available backends: {backend_menu()}"
+        ) from None
+
+
+def resolve_backend(
+    backend: str | SolverBackend | None = None,
+    *,
+    require: Iterable[str] = (),
+) -> SolverBackend:
+    """Pick the backend for a solve, enforcing required capabilities.
+
+    Parameters
+    ----------
+    backend:
+        Explicit request — a registered name, a backend instance, or
+        ``None`` for "environment, then default".
+    require:
+        Capabilities the solve needs (``{"lp"}``, ``{"milp"}``, ...).
+        An *explicitly* requested backend missing one is an error; the
+        *default* silently falls back to the first available backend
+        that has them all (capability routing).
+    """
+    need = frozenset(require)
+    if backend is not None and not isinstance(backend, str):
+        missing = need - backend.capabilities()
+        if missing:
+            raise ValueError(
+                f"backend {backend.name!r} lacks required "
+                f"capabilities {sorted(missing)}"
+            )
+        return backend
+
+    explicit = backend if backend is not None else os.environ.get(
+        BACKEND_ENV_VAR
+    )
+    if explicit:
+        chosen = get_backend(explicit)
+        if not chosen.available():
+            reason = getattr(chosen, "unavailable_reason", lambda: "")()
+            raise ValueError(
+                f"backend {explicit!r} is not available"
+                + (f": {reason}" if reason else "")
+                + f"; available backends: {backend_menu()}"
+            )
+        missing = need - chosen.capabilities()
+        if missing:
+            raise ValueError(
+                f"backend {explicit!r} lacks required capabilities "
+                f"{sorted(missing)}; available backends: {backend_menu()}"
+            )
+        return chosen
+
+    default = _BACKENDS.get(DEFAULT_BACKEND)
+    if (
+        default is not None
+        and default.available()
+        and need <= default.capabilities()
+    ):
+        return default
+    for name in backend_names():
+        candidate = _BACKENDS[name]
+        if candidate.available() and need <= candidate.capabilities():
+            return candidate
+    raise ValueError(
+        f"no available backend provides {sorted(need)}; "
+        f"registered backends: {backend_menu()}"
+    )
+
+
+def solve_ir(
+    lp: LinearProgram,
+    *,
+    backend: str | SolverBackend | None = None,
+    time_limit: float | None = None,
+    options: Mapping[str, Any] | None = None,
+) -> SolverResult:
+    """Route one IR solve through the registry — the main entry point.
+
+    The required capability (``lp`` vs ``milp``) is derived from the
+    program itself, so callers cannot accidentally hand a MILP to an
+    LP-only backend.
+    """
+    chosen = resolve_backend(backend, require={lp.required_capability})
+    start = time.perf_counter()
+    result = chosen.solve(lp, time_limit=time_limit, options=options)
+    if result.elapsed == 0.0:  # backend didn't time itself
+        result = replace(result, elapsed=time.perf_counter() - start)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations
+# ----------------------------------------------------------------------
+register_backend(ScipyHighsBackend())
+register_backend(PythonMipBackend())
+register_backend(ReferenceBackend())

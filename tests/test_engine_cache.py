@@ -53,7 +53,9 @@ class TestMemoryLayer:
         assert cache.get("k") is None
         cache.put("k", {"objective": 1.0})
         assert cache.get("k") == {"objective": 1.0}
-        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+        assert cache.stats == {
+            "hits": 1, "misses": 1, "size": 1, "evictions": 0,
+        }
 
     def test_lru_eviction(self):
         cache = ResultCache(maxsize=2)
@@ -101,3 +103,71 @@ class TestDiskLayer:
         cache.clear()
         assert len(cache) == 0
         assert cache.get("key") == {"v": 1}  # reloaded from disk
+
+
+class TestDiskEviction:
+    def _fill(self, cache, count, pad=64):
+        import os
+        import time
+
+        for i in range(count):
+            cache.put(f"key-{i}", {"objective": float(i), "pad": "x" * pad})
+            # distinct mtimes so oldest-first order is deterministic
+            path = cache.directory / f"key-{i}.json"
+            stamp = time.time() - (count - i) * 10
+            os.utime(path, (stamp, stamp))
+
+    def test_budget_enforced_on_put(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, disk_budget=600)
+        self._fill(cache, 8)
+        cache.put("key-last", {"objective": 9.0, "pad": "x" * 64})
+        num, size = cache.disk_usage()
+        assert size <= 600
+        assert num < 9
+        assert cache.evictions > 0
+        # the newest write always survives
+        assert (tmp_path / "key-last.json").exists()
+
+    def test_oldest_mtime_evicted_first(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        self._fill(cache, 6)
+        _, total = cache.disk_usage()
+        summary = cache.prune(total // 2)
+        assert summary["removed"] > 0
+        assert summary["kept_bytes"] <= total // 2
+        survivors = {p.name for p, _, _ in cache.disk_entries()}
+        # survivors are a suffix of the write order (newest kept)
+        kept_ids = sorted(int(n.split("-")[1].split(".")[0]) for n in survivors)
+        assert kept_ids == list(range(6 - len(kept_ids), 6))
+
+    def test_prune_to_zero_empties_store(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        self._fill(cache, 3)
+        summary = cache.prune(0)
+        assert summary == {
+            "removed": 3,
+            "removed_bytes": summary["removed_bytes"],
+            "kept": 0,
+            "kept_bytes": 0,
+        }
+        assert cache.disk_usage() == (0, 0)
+
+    def test_prune_without_directory_is_noop(self):
+        cache = ResultCache()
+        assert cache.prune(0)["removed"] == 0
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        self._fill(cache, 10)
+        assert cache.disk_usage()[0] == 10
+        assert cache.evictions == 0
+
+    def test_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(directory=tmp_path, disk_budget=-1)
+
+    def test_eviction_does_not_break_memory_layer(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, disk_budget=0)
+        cache.put("k", {"v": 1})
+        assert cache.disk_usage() == (0, 0)
+        assert cache.get("k") == {"v": 1}  # memory layer still serves it

@@ -149,3 +149,101 @@ class TestBatchCommand:
         captured = capsys.readouterr()
         assert "ERROR" in captured.out
         assert "task " in captured.err
+
+
+class TestBackendFlag:
+    @pytest.fixture
+    def active_file(self, tmp_path, tiny_instance):
+        path = tmp_path / "inst.json"
+        save_instance(tiny_instance, path)
+        return path
+
+    def test_reference_and_scipy_agree(self, active_file, capsys):
+        costs = {}
+        for backend in ("reference", "scipy-highs"):
+            assert main([
+                "active", str(active_file), "--g", "2",
+                "--backend", backend,
+            ]) == 0
+            out = capsys.readouterr().out
+            assert f"backend  : {backend}" in out
+            costs[backend] = [
+                line for line in out.splitlines() if "active time" in line
+            ]
+        assert costs["reference"] == costs["scipy-highs"]
+
+    def test_unknown_backend_exits_nonzero_with_menu(self, active_file,
+                                                     capsys):
+        assert main([
+            "active", str(active_file), "--g", "2", "--backend", "glpk",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "unknown backend" in err
+        assert "scipy-highs" in err and "reference" in err and "mip" in err
+
+    def test_backend_on_combinatorial_algorithm_errors(self, active_file,
+                                                       capsys):
+        assert main([
+            "active", str(active_file), "--g", "2",
+            "--algorithm", "minimal", "--backend", "reference",
+        ]) == 1
+        assert "combinatorial" in capsys.readouterr().err
+
+    def test_sweep_backend_smoke(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "sweep", "--problem", "active", "--algorithms", "rounding",
+            "--generators", "active", "--g", "3", "--instances", "1",
+            "--backend", "reference", "--no-cache", "--out", "r.jsonl",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "errors: 0" in out
+
+    def test_sweep_unknown_backend_errors(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["sweep", "--backend", "glpk", "--limit", "1"]) == 1
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_algos_lists_backend_capabilities(self, capsys):
+        assert main(["algos"]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out
+        assert "milp" in out
+        assert "scipy-highs" in out and "reference" in out
+
+
+class TestCacheCommand:
+    def test_stats_and_prune(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["sweep", "--limit", "3", "--out", "r.jsonl"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries  : 3" in out
+        assert main(["cache", "--prune", "--budget", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned   : 3 entries" in out
+        assert main(["cache"]) == 0
+        assert "entries  : 0" in capsys.readouterr().out
+
+    def test_missing_directory_is_graceful(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["cache"]) == 0
+        assert "no cache directory" in capsys.readouterr().out
+
+    def test_bad_budget_errors(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / ".repro-cache").mkdir()
+        assert main(["cache", "--prune", "--budget", "10Q"]) == 1
+        assert "byte budget" in capsys.readouterr().err
+
+    def test_negative_budget_rejected(self, tmp_path, capsys, monkeypatch):
+        # a typo'd negative budget must not silently empty the store
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / ".repro-cache").mkdir()
+        (tmp_path / ".repro-cache" / "k.json").write_text("{}")
+        assert main(["cache", "--prune", "--budget=-1K"]) == 1
+        assert "non-negative" in capsys.readouterr().err
+        assert (tmp_path / ".repro-cache" / "k.json").exists()

@@ -1,5 +1,9 @@
 """Tests for the batch runner, workers and sweep driver."""
 
+import multiprocessing
+import signal
+import time
+
 import pytest
 
 from repro.core import Instance
@@ -153,6 +157,122 @@ class TestBatchRunner:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):
             BatchRunner(jobs=0)
+
+    def test_rejects_negative_grace(self):
+        with pytest.raises(ValueError):
+            BatchRunner(jobs=2, watchdog_grace=-1.0)
+
+
+def _stuck_solver(instance, g):
+    """Simulate a solver wedged in native code: SIGALRM cannot fire."""
+    signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+    time.sleep(60.0)
+
+
+_FORK_ONLY = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="test registers a solver that only fork-children inherit",
+)
+
+
+@_FORK_ONLY
+class TestWatchdog:
+    """Parent-side watchdog: kill and replace workers stuck past deadline."""
+
+    @pytest.fixture(autouse=True)
+    def stuck_solver(self):
+        from repro.engine.registry import REGISTRY, SolverSpec
+
+        name = "stuck-watchdog-test"
+        if ("active", name) not in REGISTRY:
+            REGISTRY.register(
+                SolverSpec(
+                    problem="active",
+                    name=name,
+                    solve=_stuck_solver,
+                    exact=False,
+                    guarantee="-",
+                    complexity="-",
+                    description="blocks SIGALRM then sleeps (test only)",
+                )
+            )
+        yield name
+        # keep the global registry pristine for registry-completeness tests
+        REGISTRY._specs.pop(("active", name), None)
+
+    def test_stuck_worker_is_killed_and_replaced(
+        self, stuck_solver, small_instances
+    ):
+        # Tasks 0 and 2 wedge their workers; task 1 must still succeed
+        # and the batch must finish in ~timeout, not ~60s.
+        tasks = [
+            make_task(
+                index=i,
+                problem="active",
+                algorithm=stuck_solver if i != 1 else "minimal",
+                g=2,
+                instance=inst,
+                timeout=0.4,
+            )
+            for i, inst in enumerate(small_instances)
+        ]
+        runner = BatchRunner(jobs=2, watchdog_grace=0.2)
+        start = time.perf_counter()
+        results = runner.run(tasks)
+        elapsed = time.perf_counter() - start
+        assert [r.ok for r in results] == [False, True, False]
+        assert "watchdog" in results[0].error
+        assert "timed out" in results[2].error
+        assert runner.last_watchdog_kills == 2
+        assert elapsed < 15.0
+
+    def test_timeouts_from_watchdog_are_not_cached(
+        self, stuck_solver, small_instances, tmp_path
+    ):
+        cache = ResultCache(directory=tmp_path)
+        tasks = [
+            make_task(
+                index=i,
+                problem="active",
+                algorithm=stuck_solver,
+                g=2,
+                instance=inst,
+                timeout=0.3,
+            )
+            for i, inst in enumerate(small_instances[:2])
+        ]
+        runner = BatchRunner(jobs=2, cache=cache, watchdog_grace=0.1)
+        runner.run(tasks)
+        assert cache.disk_usage() == (0, 0)
+
+    def test_failed_duplicate_retry_keeps_watchdog(
+        self, stuck_solver, small_instances
+    ):
+        # Both tasks share a digest; the dup retry of the failed first
+        # occurrence must also run under the watchdog, not inline in
+        # the parent (which would hang on a natively-wedged solver).
+        inst = small_instances[0]
+        tasks = [
+            make_task(index=i, problem="active", algorithm=stuck_solver,
+                      g=2, instance=inst, timeout=0.3)
+            for i in range(2)
+        ]
+        runner = BatchRunner(jobs=2, watchdog_grace=0.2)
+        start = time.perf_counter()
+        results = runner.run(tasks)
+        elapsed = time.perf_counter() - start
+        assert [r.ok for r in results] == [False, False]
+        assert all("watchdog" in r.error for r in results)
+        assert elapsed < 15.0
+
+    def test_python_level_timeout_still_uses_sigalrm(self, small_instances):
+        # A sleeping (not wedged) solver is interrupted by SIGALRM inside
+        # the grace window, so the watchdog never has to kill anything.
+        tasks = _tasks(small_instances[:2], timeout=30.0)
+        runner = BatchRunner(jobs=2)
+        results = runner.run(tasks)
+        assert all(r.ok for r in results)
+        assert runner.last_watchdog_kills == 0
 
 
 class TestSweep:

@@ -1,0 +1,361 @@
+"""The backend-neutral solver layer: IR, backends, registry, parity.
+
+The parity classes run every registered backend (``python-mip`` cases
+auto-skip when the package is missing) against the same instances and
+require objectives within 1e-6 of each other plus schedules that pass
+``core/validation`` — the acceptance bar for swapping backends freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.activetime import exact_active_time, round_active_time
+from repro.busytime import exact_busy_time_interval
+from repro.core import Instance
+from repro.instances import random_active_time_instance
+from repro.lp import solve_active_time_lp
+from repro.solvers import (
+    BACKEND_ENV_VAR,
+    LinearProgram,
+    SolverResult,
+    available_backend_names,
+    backend_names,
+    get_backend,
+    resolve_backend,
+    solve_ir,
+)
+
+
+def _all_backend_params():
+    """One pytest param per registered backend; unavailable ones skip."""
+    params = []
+    for name in backend_names():
+        backend = get_backend(name)
+        marks = (
+            []
+            if backend.available()
+            else [pytest.mark.skip(reason=f"backend {name} unavailable")]
+        )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
+
+
+@pytest.fixture(params=_all_backend_params())
+def backend_name(request) -> str:
+    return request.param
+
+
+# ----------------------------------------------------------------------
+# IR construction
+# ----------------------------------------------------------------------
+class TestLinearProgram:
+    def test_build_validates_shapes(self):
+        with pytest.raises(ValueError, match="columns"):
+            LinearProgram.build([1.0, 2.0], a_ub=[[1.0]], b_ub=[1.0])
+        with pytest.raises(ValueError, match="together"):
+            LinearProgram.build([1.0], a_ub=[[1.0]])
+        with pytest.raises(ValueError, match="entry per column"):
+            LinearProgram.build([1.0], lb=[0.0, 0.0])
+
+    def test_milp_detection_and_relaxation(self):
+        lp = LinearProgram.build([1.0, 1.0], integrality=[1, 0])
+        assert lp.is_milp
+        assert lp.required_capability == "milp"
+        relaxed = lp.relaxed()
+        assert not relaxed.is_milp
+        assert relaxed.required_capability == "lp"
+
+    def test_from_two_sided_splits_rows(self):
+        # row 0: equality; row 1: two-sided -> two <= rows; row 2: one-sided
+        lp = LinearProgram.from_two_sided(
+            [1.0, 1.0],
+            [[1.0, 1.0], [1.0, -1.0], [2.0, 0.0]],
+            [3.0, -1.0, -np.inf],
+            [3.0, 1.0, 5.0],
+        )
+        assert lp.a_eq.shape[0] == 1
+        assert lp.b_eq.tolist() == [3.0]
+        assert lp.a_ub.shape[0] == 3  # ub side of rows 1,2 + lb side of row 1
+        assert sorted(lp.b_ub.tolist()) == [1.0, 1.0, 5.0]
+
+    def test_as_feasibility_and_with_bounds(self):
+        lp = LinearProgram.build([1.0, -1.0], lb=[0, 0], ub=[2, 2])
+        assert lp.as_feasibility().c.tolist() == [0.0, 0.0]
+        pinned = lp.with_bounds([1, 0], [1, 2])
+        assert pinned.lb.tolist() == [1.0, 0.0]
+        with pytest.raises(ValueError):
+            lp.with_bounds([0.0], [1.0])
+
+
+# ----------------------------------------------------------------------
+# Backend contract (every backend, same expectations)
+# ----------------------------------------------------------------------
+class TestBackendContract:
+    def test_lp_optimum(self, backend_name):
+        # max x + 2y over x+y<=4, x<=3, y<=2  ->  (2, 2), value -6
+        lp = LinearProgram.build(
+            [-1.0, -2.0], a_ub=[[1.0, 1.0]], b_ub=[4.0],
+            lb=[0.0, 0.0], ub=[3.0, 2.0],
+        )
+        result = solve_ir(lp, backend=backend_name)
+        assert result.ok and result.backend == backend_name
+        assert result.objective == pytest.approx(-6.0, abs=1e-6)
+        assert result.x == pytest.approx([2.0, 2.0], abs=1e-6)
+
+    def test_milp_optimum(self, backend_name):
+        # knapsack-ish: max x + y over 2x+3y<=7, x,y integer in [0,2]
+        lp = LinearProgram.build(
+            [-1.0, -1.0], a_ub=[[2.0, 3.0]], b_ub=[7.0],
+            lb=[0.0, 0.0], ub=[2.0, 2.0], integrality=[1, 1],
+        )
+        result = solve_ir(lp, backend=backend_name)
+        assert result.ok
+        assert result.objective == pytest.approx(-3.0, abs=1e-6)
+
+    def test_equality_rows(self, backend_name):
+        lp = LinearProgram.build(
+            [1.0, 1.0], a_eq=[[1.0, 1.0]], b_eq=[1.0],
+            lb=[0.0, 0.0], ub=[1.0, 1.0],
+        )
+        result = solve_ir(lp, backend=backend_name)
+        assert result.ok
+        assert result.objective == pytest.approx(1.0, abs=1e-6)
+
+    def test_infeasible_detected(self, backend_name):
+        lp = LinearProgram.build(
+            [1.0], a_ub=[[1.0], [-1.0]], b_ub=[1.0, -3.0],
+            lb=[0.0], ub=[5.0],
+        )
+        result = solve_ir(lp, backend=backend_name)
+        assert result.status == "infeasible"
+        assert result.x is None
+        with pytest.raises(RuntimeError, match="infeasible"):
+            result.require_optimal("probe")
+
+    def test_empty_program(self, backend_name):
+        result = solve_ir(LinearProgram.build([]), backend=backend_name)
+        assert result.ok and result.objective == 0.0
+
+    def test_unbounded_detected(self, backend_name):
+        lp = LinearProgram.build([-1.0], lb=[0.0])
+        result = solve_ir(lp, backend=backend_name)
+        assert result.status == "unbounded"
+
+
+# ----------------------------------------------------------------------
+# Algorithm-level parity across backends
+# ----------------------------------------------------------------------
+#: Small instances where every algorithm is feasible at the paired g.
+PARITY_CASES = [
+    (Instance.from_tuples([(0, 4, 2), (1, 5, 3), (0, 6, 1)]), 2),
+    (Instance.from_tuples([(0, 4, 2), (1, 5, 3), (0, 6, 1), (2, 6, 2)]), 2),
+    (Instance.from_tuples([(0, 2, 2), (0, 3, 1), (1, 4, 2), (2, 5, 3)]), 3),
+]
+
+
+class TestBackendParity:
+    def test_lp_relaxation_matches_default(self, backend_name):
+        for instance, g in PARITY_CASES:
+            expected = solve_active_time_lp(instance, g)
+            got = solve_active_time_lp(instance, g, backend=backend_name)
+            assert got.objective == pytest.approx(
+                expected.objective, abs=1e-6
+            )
+
+    def test_exact_active_time_matches_and_validates(self, backend_name):
+        for instance, g in PARITY_CASES:
+            expected = exact_active_time(instance, g)
+            got = exact_active_time(instance, g, backend=backend_name)
+            got.verify()  # core/validation via schedule assignment checks
+            assert got.cost == expected.cost
+
+    def test_rounding_validates_and_keeps_guarantee(self, backend_name):
+        for instance, g in PARITY_CASES:
+            sol = round_active_time(
+                instance, g, strict=True, backend=backend_name
+            )
+            sol.schedule.verify()
+            assert sol.guarantee_holds
+
+    def test_busy_exact_matches_and_validates(self, backend_name):
+        instance = Instance.from_tuples(
+            [(0, 3, 3), (1, 4, 3), (2, 6, 4), (5, 8, 3)]
+        )
+        expected = exact_busy_time_interval(instance, 2)
+        got = exact_busy_time_interval(instance, 2, backend=backend_name)
+        got.verify()
+        assert got.total_busy_time == pytest.approx(
+            expected.total_busy_time, abs=1e-6
+        )
+
+    def test_random_instances_agree(self, backend_name, rng):
+        checked = 0
+        for _ in range(6):
+            instance = random_active_time_instance(5, 7, rng=rng)
+            g = int(rng.integers(2, 4))
+            try:
+                expected = solve_active_time_lp(instance, g)
+            except RuntimeError:
+                continue
+            got = solve_active_time_lp(instance, g, backend=backend_name)
+            assert got.objective == pytest.approx(
+                expected.objective, abs=1e-6
+            )
+            checked += 1
+        assert checked >= 2
+
+    def test_infeasible_instance_raises(self, backend_name):
+        bad = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        with pytest.raises(RuntimeError):
+            solve_active_time_lp(bad, 1, backend=backend_name)
+
+
+# ----------------------------------------------------------------------
+# Registry selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_default_is_scipy(self):
+        assert resolve_backend(None).name == "scipy-highs"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert resolve_backend(None).name == "reference"
+
+    def test_env_var_typo_errors_with_menu(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "refrence")
+        with pytest.raises(ValueError, match="available backends"):
+            resolve_backend(None)
+
+    def test_unknown_name_lists_menu(self):
+        with pytest.raises(ValueError) as exc:
+            resolve_backend("highs-scipy")
+        for name in backend_names():
+            assert name in str(exc.value)
+
+    def test_explicit_backend_lacking_capability_errors(self):
+        class LpOnly:
+            name = "lp-only-test"
+
+            def capabilities(self):
+                return frozenset({"lp"})
+
+            def available(self):
+                return True
+
+            def solve(self, lp, *, time_limit=None, options=None):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="milp"):
+            resolve_backend(LpOnly(), require={"milp"})
+
+    def test_available_names_subset(self):
+        available = available_backend_names()
+        assert set(available) <= set(backend_names())
+        assert "scipy-highs" in available
+        assert "reference" in available
+
+    def test_mip_gated_cleanly_when_missing(self):
+        mip = get_backend("mip")
+        if mip.available():
+            pytest.skip("python-mip installed; gating not exercised")
+        with pytest.raises(ValueError, match="not available"):
+            resolve_backend("mip")
+
+    def test_result_status_vocabulary_enforced(self):
+        with pytest.raises(ValueError, match="unknown status"):
+            SolverResult(status="solved", backend="x")
+
+
+class TestEngineRouting:
+    def test_combinatorial_algorithm_rejects_backend(self, tiny_instance):
+        from repro.engine import REGISTRY
+
+        with pytest.raises(ValueError, match="combinatorial"):
+            REGISTRY.solve(
+                "active", "minimal", tiny_instance, 2, backend="reference"
+            )
+
+    def test_registry_routes_backend_param(self, tiny_instance):
+        from repro.engine import REGISTRY
+
+        default = REGISTRY.solve("active", "rounding", tiny_instance, 2)
+        routed = REGISTRY.solve(
+            "active", "rounding", tiny_instance, 2, backend="reference"
+        )
+        assert routed.objective == default.objective
+
+    def test_specs_declare_backend_capability(self):
+        from repro.engine import REGISTRY
+
+        by_name = {
+            (s.problem, s.name): s.backend_capability for s in REGISTRY.specs()
+        }
+        assert by_name[("active", "rounding")] == "lp"
+        assert by_name[("active", "exact")] == "milp"
+        assert by_name[("active", "minimal")] is None
+        assert by_name[("busy", "exact")] == "milp"
+
+    def test_sweep_grid_attaches_backend_only_to_lp_solvers(self):
+        from repro.engine import SweepGrid, build_sweep_tasks
+
+        grid = SweepGrid(
+            problem="active",
+            generators=("active",),
+            algorithms=("minimal", "rounding"),
+            g_values=(3,),
+            instances_per_cell=1,
+            backend="reference",
+        )
+        tasks = build_sweep_tasks([grid])
+        params = {t.algorithm: t.params for t in tasks}
+        assert params["rounding"] == {"backend": "reference"}
+        assert params["minimal"] == {}
+        # backend feeds the digest of routed tasks only
+        plain = build_sweep_tasks(
+            [
+                SweepGrid(
+                    problem="active",
+                    generators=("active",),
+                    algorithms=("minimal", "rounding"),
+                    g_values=(3,),
+                    instances_per_cell=1,
+                )
+            ]
+        )
+        plain_digests = {t.algorithm: t.digest for t in plain}
+        plain_params = {t.algorithm: t.params for t in plain}
+        digests = {t.algorithm: t.digest for t in tasks}
+        assert digests["minimal"] == plain_digests["minimal"]
+        assert digests["rounding"] != plain_digests["rounding"]
+        # with no explicit backend, the *effective* default is pinned so
+        # cached results always record their producing backend
+        assert plain_params["rounding"] == {"backend": "scipy-highs"}
+
+    def test_env_backend_feeds_task_digest(self, monkeypatch):
+        from repro.engine import SweepGrid
+
+        grid = SweepGrid(
+            problem="active",
+            generators=("active",),
+            algorithms=("rounding",),
+            g_values=(3,),
+            instances_per_cell=1,
+        )
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert grid.task_params("rounding") == {"backend": "reference"}
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert grid.task_params("rounding") == {"backend": "scipy-highs"}
+
+    def test_sweep_grid_unknown_backend_fails_validation(self):
+        from repro.engine import SweepGrid
+
+        grid = SweepGrid(
+            problem="active",
+            generators=("active",),
+            algorithms=("rounding",),
+            backend="refrence",
+        )
+        with pytest.raises(ValueError, match="available backends"):
+            grid.validate()
