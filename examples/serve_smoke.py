@@ -1,0 +1,100 @@
+"""Serving smoke test: start ``repro serve``, stream a batch, verify dedupe.
+
+Starts a real ``repro serve`` subprocess on an ephemeral port, POSTs a
+batch (three distinct tasks plus one duplicate) through the urllib
+client, and checks the serving contract end to end:
+
+* results come back as JSONL **in task order**;
+* the duplicate digest is deduped server-side (``cached`` on first POST);
+* re-POSTing the same batch hits the shared result cache for every task.
+
+CI runs this as the serving-smoke leg; it is also the minimal usage
+example for :mod:`repro.serve`.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.core import Instance
+from repro.serve import ServeClient, task_request
+
+
+def start_server(cache_dir: str) -> tuple[subprocess.Popen, str]:
+    """Launch ``repro serve --port 0`` and return (process, base URL)."""
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--jobs", "2", "--cache-dir", cache_dir,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on (http://\S+)", banner)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"server did not announce a URL: {banner!r}")
+    return proc, match.group(1)
+
+
+def main() -> None:
+    instances = [
+        Instance.from_tuples([(0, 4, 2), (1, 5, 3)]),
+        Instance.from_tuples([(0, 3, 1), (2, 6, 2), (1, 4, 2)]),
+        Instance.from_tuples([(0, 2, 1), (0, 5, 2)]),
+    ]
+    requests = [
+        task_request(inst, "active", 3, algorithm="minimal", meta={"pos": i})
+        for i, inst in enumerate(instances)
+    ]
+    # a duplicate digest: same instance/coordinates as task 0
+    requests.append(
+        task_request(instances[0], "active", 3, algorithm="minimal",
+                     meta={"pos": 3})
+    )
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        proc, url = start_server(cache_dir)
+        try:
+            client = ServeClient(url, http_timeout=120.0)
+
+            algos = client.algos()
+            assert "minimal" in algos["problems"]["active"], algos["problems"]
+            print(f"server at {url}: "
+                  f"{len(algos['solvers'])} solvers, "
+                  f"{len(algos['backends'])} backends")
+
+            first = list(client.batch(requests))
+            assert [r.index for r in first] == [0, 1, 2, 3], first
+            assert all(r.ok for r in first), [r.error for r in first]
+            assert first[3].cached, "duplicate digest was not deduped"
+            assert first[3].objective == first[0].objective
+            print("first batch : ordered, duplicate deduped server-side")
+
+            second = list(client.batch(requests))
+            assert [r.index for r in second] == [0, 1, 2, 3], second
+            assert all(r.cached for r in second), second
+            print("second batch: every task served from the shared cache")
+
+            # 4 cache hits: every task of the second batch (the first
+            # batch's duplicate is deduped in-run, not via the cache).
+            health = client.health()
+            assert health["ok"] and health["cache"]["hits"] >= 4, health
+            print(f"serve smoke OK: {health['tasks_served']} tasks served, "
+                  f"{health['cache']['hits']} cache hits")
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()  # assertion failures exit non-zero; success exits 0

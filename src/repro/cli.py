@@ -23,6 +23,9 @@ Commands
     Inspect the on-disk result cache; ``--prune`` evicts oldest-mtime
     entries down to a byte budget:
     ``python -m repro cache --prune --budget 50M``
+``serve``
+    HTTP/JSONL serving front end over the batch engine:
+    ``python -m repro serve --port 8977 --jobs 4 --disk-budget 200M``
 ``bounds``
     Print all lower bounds for a busy-time instance.
 ``experiments``
@@ -71,7 +74,7 @@ from .instances import (
     lp_gap,
 )
 from .io import load_instance, load_instances, save_instance
-from .solvers import backend_names, get_backend, resolve_backend
+from .solvers import backend_names, backend_status, resolve_backend
 
 __all__ = ["main"]
 
@@ -199,6 +202,48 @@ def _build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p_batch.add_argument("--no-cache", action="store_true")
 
+    p_serve = sub.add_parser(
+        "serve", help="HTTP/JSONL serving front end over the batch engine"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 to expose)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8977,
+        help="TCP port (default 8977; 0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per wave"
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-task timeout (s) for requests that set none; "
+        "hard (watchdog-enforced) with --jobs >= 2",
+    )
+    p_serve.add_argument("--backend", default=None, help=backend_help)
+    p_serve.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"on-disk result cache (default {DEFAULT_CACHE_DIR})",
+    )
+    p_serve.add_argument(
+        "--disk-budget",
+        default=None,
+        help="byte budget for the disk cache, K/M/G suffixes accepted "
+        "(default unbounded)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="no disk cache (an in-memory cache still dedupes requests)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+
     p_cache = sub.add_parser(
         "cache", help="inspect or prune the on-disk result cache"
     )
@@ -289,15 +334,12 @@ def _cmd_algos(args) -> int:
     print()
     backend_rows = []
     for name in backend_names():
-        backend = get_backend(name)
-        if backend.available():
-            status = "default" if name == "scipy-highs" else "available"
-        else:
-            status = getattr(
-                backend, "unavailable_reason", lambda: "unavailable"
-            )()
+        status = backend_status(name)
+        note = status["status"]
+        if status.get("reason"):
+            note = f"{note}: {status['reason']}"
         backend_rows.append(
-            [name, ",".join(sorted(backend.capabilities())), status]
+            [name, ",".join(status["capabilities"]), note]
         )
     print(
         format_table(
@@ -507,6 +549,45 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import create_server
+
+    if args.no_cache:
+        cache = ResultCache()  # memory-only: still dedupes across requests
+    else:
+        budget = (
+            _parse_bytes(args.disk_budget)
+            if args.disk_budget is not None
+            else None
+        )
+        cache = ResultCache(directory=args.cache_dir, disk_budget=budget)
+    server = create_server(
+        args.host,
+        args.port,
+        jobs=args.jobs,
+        cache=cache,
+        default_backend=args.backend,
+        default_timeout=args.timeout,
+        verbose=args.verbose,
+    )
+    try:
+        print(f"repro serve listening on {server.url}")
+        print(
+            f"  jobs={args.jobs} "
+            f"cache={'memory-only' if args.no_cache else args.cache_dir} "
+            f"backend={args.backend or 'default'} "
+            f"timeout={args.timeout or 'none'}"
+        )
+        print(
+            "  endpoints: GET /algos, GET /healthz, POST /solve, POST /batch"
+        )
+        sys.stdout.flush()
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_gadget(args) -> int:
     gadget = GADGETS[args.name](args)
     print(f"gadget  : {gadget.name} (g={gadget.g})")
@@ -557,6 +638,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "batch": _cmd_batch,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "gadget": _cmd_gadget,
         "bounds": _cmd_bounds,
         "experiments": _cmd_experiments,

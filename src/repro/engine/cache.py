@@ -155,6 +155,13 @@ class ResultCache:
             except (OSError, json.JSONDecodeError):
                 record = None
             if record is not None:
+                # Refresh the entry's mtime: prune() evicts oldest-mtime
+                # first, so without the touch the most frequently *read*
+                # entries would be the first to go under a byte budget.
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass  # e.g. concurrently pruned; the read still wins
                 self._store_memory(key, record)
                 self.hits += 1
                 return dict(record)

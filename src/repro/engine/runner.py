@@ -172,7 +172,12 @@ class BatchRunner:
             pending_pos.append(pos)
 
         if pending:
-            for pos, result in zip(pending_pos, self._execute(pending)):
+            # strict: _execute guarantees one result per task, and a
+            # silent length mismatch here would shift every later result
+            # onto the wrong task.
+            for pos, result in zip(
+                pending_pos, self._execute(pending), strict=True
+            ):
                 results[pos] = result
                 self._cache_store(result)
 
@@ -191,11 +196,17 @@ class BatchRunner:
             # the watchdog (an inline retry of a natively-wedged solve
             # would hang the parent past its timeout).
             executed = self._execute([t for _, t in retry])
-            for (pos, _), result in zip(retry, executed):
+            for (pos, _), result in zip(retry, executed, strict=True):
                 results[pos] = result
                 self._cache_store(result)
 
-        return [r for r in results if r is not None]
+        missing = [pos for pos, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - guarded by _execute's invariant
+            raise RuntimeError(
+                f"BatchRunner produced no result for task position(s) "
+                f"{missing} of {len(tasks)}"
+            )
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def _execute(self, pending: Sequence[Task]) -> list[TaskResult]:
@@ -205,12 +216,48 @@ class BatchRunner:
         — the serial path's SIGALRM cannot interrupt a solver stuck in
         native code.  jobs=1 stays in-process by contract (solvers
         registered only in this process), so its timeouts remain soft.
+
+        Invariant: exactly one result per pending task, in task order.
+        Callers zip the returned list against task positions, so a
+        dropped slot would silently assign every later result to the
+        wrong task.  Strategies fill worker-death gaps with
+        ``failure_result`` (via :meth:`_sealed`) and never filter.
         """
         if self.jobs > 1 and any(t.timeout is not None for t in pending):
-            return self._run_watchdog(pending)
-        if self.jobs == 1 or len(pending) == 1:
-            return [execute_task(t) for t in pending]
-        return self._run_parallel(pending)
+            executed = self._run_watchdog(pending)
+        elif self.jobs == 1 or len(pending) == 1:
+            executed = [execute_task(t) for t in pending]
+        else:
+            executed = self._run_parallel(pending)
+        if len(executed) != len(pending):
+            raise RuntimeError(
+                f"execution strategy returned {len(executed)} results "
+                f"for {len(pending)} tasks; results would be misaligned"
+            )
+        return executed
+
+    @staticmethod
+    def _sealed(
+        results: list[TaskResult | None], pending: Sequence[Task]
+    ) -> list[TaskResult]:
+        """``results`` with every empty slot turned into an explicit failure.
+
+        A slot can only be empty if an execution strategy lost track of
+        its task (e.g. a worker died in a way no handler caught); the
+        task gets a visible ``ok=False`` record at its own position
+        rather than being dropped and shifting its neighbours.
+        """
+        return [
+            result
+            if result is not None
+            else failure_result(
+                pending[pos],
+                "runner produced no result for this task "
+                "(worker lost without a recorded failure)",
+                0.0,
+            )
+            for pos, result in enumerate(results)
+        ]
 
     # ------------------------------------------------------------------
     # Watchdog pool (used whenever any pending task carries a timeout)
@@ -292,7 +339,7 @@ class BatchRunner:
         finally:
             for worker in workers:
                 worker.shutdown()
-        return [r for r in results if r is not None]
+        return self._sealed(results, pending)
 
     # ------------------------------------------------------------------
     def _run_parallel(self, pending: Sequence[Task]) -> list[TaskResult]:
@@ -330,7 +377,7 @@ class BatchRunner:
             raise
         else:
             executor.shutdown(wait=True)
-        return [r for r in executed if r is not None]
+        return self._sealed(executed, pending)
 
     # ------------------------------------------------------------------
     def _cache_lookup(self, task: Task) -> TaskResult | None:

@@ -168,9 +168,15 @@ def build_sweep_tasks(
 
 
 def _instance_seed(base_seed: int, generator: str, g: int, rep: int) -> int:
-    """Stable per-instance seed independent of the algorithm axis."""
-    # A small deterministic mix; stays readable in error messages.
-    return base_seed + 7919 * (hash_str(generator) % 97) + 101 * g + rep
+    """Stable per-instance seed independent of the algorithm axis.
+
+    Uses the full :func:`hash_str` value: folding it down (an earlier
+    ``% 97``) let two generator names collide and silently share
+    instances — and hence digests — across supposedly distinct
+    families.  The 7919 stride keeps distinct generators at least a
+    whole (g, rep) block apart.
+    """
+    return base_seed + 7919 * hash_str(generator) + 101 * g + rep
 
 
 def hash_str(text: str) -> int:

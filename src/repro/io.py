@@ -19,6 +19,9 @@ from typing import Any, Iterable
 from .core.jobs import Instance, Job
 
 __all__ = [
+    "FORMAT_MARKER",
+    "instance_to_payload",
+    "instance_from_payload",
     "instance_to_json",
     "instance_from_json",
     "save_instance",
@@ -30,11 +33,18 @@ __all__ = [
     "instances_from_jsonl",
 ]
 
+#: Format marker stamped into every serialized instance payload.
+FORMAT_MARKER = "repro-instance-v1"
 
-def instance_to_json(instance: Instance, **metadata: Any) -> str:
-    """Serialize an instance (and optional metadata) to a JSON string."""
-    payload = {
-        "format": "repro-instance-v1",
+
+def instance_to_payload(instance: Instance, **metadata: Any) -> dict[str, Any]:
+    """An instance (and optional metadata) as a JSON-ready dict.
+
+    The dict form is the wire format shared by files (:func:`
+    instance_to_json`), JSONL workloads and the HTTP serving layer.
+    """
+    return {
+        "format": FORMAT_MARKER,
         "metadata": metadata,
         "jobs": [
             {
@@ -47,27 +57,71 @@ def instance_to_json(instance: Instance, **metadata: Any) -> str:
             for j in instance.jobs
         ],
     }
-    return json.dumps(payload, indent=2)
+
+
+def instance_from_payload(payload: Any) -> Instance:
+    """Inverse of :func:`instance_to_payload`, with lenient hand-written input.
+
+    The ``format`` marker is required in files but optional in payloads
+    assembled by hand (e.g. a curl request body); job ``id`` defaults to
+    the job's position.  A present-but-wrong marker is still an error.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"instance payload must be an object, got {type(payload).__name__}"
+        )
+    if "format" in payload and payload["format"] != FORMAT_MARKER:
+        raise ValueError(
+            f"unrecognized format marker {payload.get('format')!r}"
+        )
+    jobs_field = payload.get("jobs")
+    if not isinstance(jobs_field, list):
+        raise ValueError("instance payload needs a 'jobs' array")
+    jobs = []
+    for pos, rec in enumerate(jobs_field):
+        if not isinstance(rec, dict):
+            raise ValueError(f"job {pos} must be an object, got {rec!r}")
+        for field in ("release", "deadline", "length"):
+            if field not in rec:
+                raise ValueError(
+                    f"job {pos} is missing required field {field!r} "
+                    "(need release, deadline, length)"
+                )
+            value = rec[field]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"job {pos} field {field!r} must be a number, "
+                    f"got {value!r}"
+                )
+        jid = rec.get("id", pos)
+        if isinstance(jid, bool) or not isinstance(jid, int):
+            raise ValueError(
+                f"job {pos} field 'id' must be an integer, got {jid!r}"
+            )
+        jobs.append(
+            Job(
+                release=rec["release"],
+                deadline=rec["deadline"],
+                length=rec["length"],
+                id=jid,
+                label=str(rec.get("label", "")),
+            )
+        )
+    return Instance(tuple(jobs))
+
+
+def instance_to_json(instance: Instance, **metadata: Any) -> str:
+    """Serialize an instance (and optional metadata) to a JSON string."""
+    return json.dumps(instance_to_payload(instance, **metadata), indent=2)
 
 
 def instance_from_json(text: str) -> Instance:
     """Parse an instance from :func:`instance_to_json` output."""
     payload = json.loads(text)
-    if payload.get("format") != "repro-instance-v1":
-        raise ValueError(
-            f"unrecognized format marker {payload.get('format')!r}"
-        )
-    jobs = tuple(
-        Job(
-            release=rec["release"],
-            deadline=rec["deadline"],
-            length=rec["length"],
-            id=rec["id"],
-            label=rec.get("label", ""),
-        )
-        for rec in payload["jobs"]
-    )
-    return Instance(jobs)
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_MARKER:
+        marker = payload.get("format") if isinstance(payload, dict) else None
+        raise ValueError(f"unrecognized format marker {marker!r}")
+    return instance_from_payload(payload)
 
 
 def save_instance(instance: Instance, path: str | Path, **metadata: Any) -> None:

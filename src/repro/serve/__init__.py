@@ -1,0 +1,32 @@
+"""`repro.serve` — dependency-free HTTP/JSONL serving over the batch engine.
+
+* :mod:`~repro.serve.server` — the :class:`ThreadingHTTPServer` front
+  end (``GET /algos``, ``GET /healthz``, ``POST /solve``,
+  ``POST /batch``) over one shared runner + result cache.
+* :mod:`~repro.serve.client` — a urllib client speaking the same wire
+  format, for sweeps that target a remote server.
+
+Start a server with ``repro serve`` or :func:`create_server`.
+"""
+
+from .client import ServeClient, ServeClientError, task_request
+from .server import (
+    DEFAULT_PORT,
+    ReproHTTPServer,
+    RequestError,
+    ServeApp,
+    create_server,
+    parse_task_request,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ReproHTTPServer",
+    "RequestError",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "create_server",
+    "parse_task_request",
+    "task_request",
+]

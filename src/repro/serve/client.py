@@ -1,0 +1,153 @@
+"""Thin urllib client for a ``repro serve`` endpoint.
+
+Lets sweeps and scripts target a remote server with the same
+vocabulary the in-process engine uses: requests are built from
+:class:`~repro.core.jobs.Instance` objects, responses come back as
+:class:`~repro.engine.workers.TaskResult` records.  Standard library
+only, mirroring the server.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..core.jobs import Instance
+from ..engine.workers import TaskResult
+from ..io import instance_to_payload
+
+__all__ = ["ServeClientError", "ServeClient", "task_request"]
+
+
+class ServeClientError(RuntimeError):
+    """An error answer from the server, carrying its HTTP status."""
+
+    def __init__(self, message: str, status: int) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def task_request(
+    instance: Instance,
+    problem: str,
+    g: int,
+    *,
+    algorithm: str | None = None,
+    params: Mapping[str, Any] | None = None,
+    backend: str | None = None,
+    timeout: float | None = None,
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One wire-format task object for ``POST /solve`` or ``POST /batch``."""
+    payload: dict[str, Any] = {
+        "instance": instance_to_payload(instance),
+        "problem": problem,
+        "g": g,
+    }
+    if algorithm is not None:
+        payload["algorithm"] = algorithm
+    if params:
+        payload["params"] = dict(params)
+    if backend is not None:
+        payload["backend"] = backend
+    if timeout is not None:
+        payload["timeout"] = timeout
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8977"`` (trailing slash tolerated).
+    http_timeout:
+        Socket timeout per request, in seconds.  Batches stream, so
+        this bounds silence between lines rather than total runtime.
+    """
+
+    def __init__(self, base_url: str, *, http_timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.http_timeout = http_timeout
+
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str, body: bytes | None = None):
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.http_timeout)
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(detail)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                message = detail.strip() or exc.reason
+            raise ServeClientError(message, exc.code) from None
+
+    def _get_json(self, path: str) -> dict[str, Any]:
+        with self._open("GET", path) as response:
+            return json.loads(response.read())
+
+    # ------------------------------------------------------------------
+    def algos(self) -> dict[str, Any]:
+        """The server's solver and backend registries (``GET /algos``)."""
+        return self._get_json("/algos")
+
+    def health(self) -> dict[str, Any]:
+        """Liveness and cache statistics (``GET /healthz``)."""
+        return self._get_json("/healthz")
+
+    def solve(
+        self,
+        instance: Instance,
+        problem: str,
+        g: int,
+        *,
+        algorithm: str | None = None,
+        params: Mapping[str, Any] | None = None,
+        backend: str | None = None,
+        timeout: float | None = None,
+        meta: Mapping[str, Any] | None = None,
+    ) -> TaskResult:
+        """Solve one instance remotely (``POST /solve``)."""
+        body = json.dumps(
+            task_request(
+                instance,
+                problem,
+                g,
+                algorithm=algorithm,
+                params=params,
+                backend=backend,
+                timeout=timeout,
+                meta=meta,
+            )
+        ).encode("utf-8")
+        with self._open("POST", "/solve", body) as response:
+            return TaskResult.from_record(json.loads(response.read()))
+
+    def batch(
+        self, requests: Iterable[Mapping[str, Any]]
+    ) -> Iterator[TaskResult]:
+        """Stream a batch (``POST /batch``), yielding results in task order.
+
+        ``requests`` are wire-format task objects (see
+        :func:`task_request`); results are yielded as lines arrive, so
+        early waves can be consumed while the server is still solving.
+        """
+        body = "".join(
+            json.dumps(dict(request)) + "\n" for request in requests
+        ).encode("utf-8")
+        with self._open("POST", "/batch", body) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield TaskResult.from_record(json.loads(line))

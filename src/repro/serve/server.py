@@ -1,0 +1,486 @@
+"""Stdlib-only HTTP/JSONL serving front end over the batch engine.
+
+The ROADMAP's async-serving item, made concrete: a
+:class:`~http.server.ThreadingHTTPServer` exposing the solver registry
+over three endpoints, backed by one shared
+:class:`~repro.engine.runner.BatchRunner` and
+:class:`~repro.engine.cache.ResultCache` so repeated and duplicate
+requests are deduped server-side.
+
+Endpoints
+---------
+``GET /algos``
+    Registry listing: every solver spec plus every LP/MILP backend with
+    its capabilities and availability (the same rows ``repro algos``
+    prints).
+``GET /healthz``
+    Liveness plus cache statistics.
+``POST /solve``
+    One task as a JSON object (``instance``/``problem``/``algorithm``/
+    ``g``/``params``/``backend``/``timeout``/``meta``); answers the
+    :class:`~repro.engine.workers.TaskResult` record as JSON.
+``POST /batch``
+    A JSONL stream of task objects (one per line); answers chunked
+    JSONL, one result record per line **in task order**.  Results are
+    computed in waves, so early lines arrive while later waves are
+    still solving.
+
+Validation goes through the same error-menu helpers the CLI uses
+(:func:`repro.engine.registry.backend_task_params`,
+``REGISTRY.get``), so a typo'd algorithm or backend name answers 400
+with the full menu instead of a bare error.
+
+Everything here is standard library only — no framework to install on
+the serving host.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterator, Sequence
+from urllib.parse import urlsplit
+
+from ..engine import BatchRunner, ResultCache, backend_task_params, make_task
+from ..engine.registry import PROBLEMS, REGISTRY
+from ..engine.workers import Task, TaskResult
+from ..io import instance_from_payload
+from ..solvers import backend_names, backend_status, resolve_backend
+
+__all__ = [
+    "DEFAULT_PORT",
+    "RequestError",
+    "ServeApp",
+    "ReproHTTPServer",
+    "create_server",
+    "parse_task_request",
+]
+
+#: Default TCP port for ``repro serve`` (unregistered, above ephemeral floor).
+DEFAULT_PORT = 8977
+
+#: Fields a task request may carry; anything else is a typo worth a 400.
+_TASK_FIELDS = frozenset(
+    {"instance", "problem", "algorithm", "g", "params", "backend",
+     "timeout", "meta"}
+)
+
+#: Per-problem algorithm used when a request names none (CLI parity).
+_DEFAULT_ALGORITHM = {"active": "rounding", "busy": "greedy_tracking"}
+
+#: Refuse request bodies beyond this size (64 MiB) instead of buffering.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class RequestError(ValueError):
+    """A client error with the HTTP status it should answer with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _label(index: int | None) -> str:
+    return "" if index is None else f"task {index}: "
+
+
+def parse_task_request(
+    payload: Any,
+    index: int | None = None,
+    *,
+    default_backend: str | None = None,
+    default_timeout: float | None = None,
+) -> Task:
+    """Translate one wire-format task object into an engine ``Task``.
+
+    Raises :class:`RequestError` (status 400) with the same menu-style
+    messages the CLI prints: unknown algorithms list the registered
+    names, unknown backends list the backend menu.
+
+    ``index`` labels multi-task (batch) errors with the task's position;
+    it also becomes the task's result-ordering index.
+    """
+    at = _label(index)
+    if not isinstance(payload, dict):
+        raise RequestError(
+            f"{at}request must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - _TASK_FIELDS)
+    if unknown:
+        raise RequestError(
+            f"{at}unknown field(s) {unknown}; "
+            f"allowed fields: {sorted(_TASK_FIELDS)}"
+        )
+
+    problem = payload.get("problem", "active")
+    if problem not in PROBLEMS:
+        raise RequestError(
+            f"{at}unknown problem {problem!r}; choose from {list(PROBLEMS)}"
+        )
+    algorithm = payload.get("algorithm") or _DEFAULT_ALGORITHM[problem]
+    try:
+        REGISTRY.get(problem, algorithm)
+    except KeyError as exc:
+        raise RequestError(f"{at}{exc.args[0]}") from None
+
+    g = payload.get("g")
+    if isinstance(g, bool) or not isinstance(g, int) or g < 1:
+        raise RequestError(
+            f"{at}'g' must be a positive integer, got {g!r}"
+        )
+
+    params = payload.get("params")
+    params = {} if params is None else params
+    if not isinstance(params, dict):
+        raise RequestError(f"{at}'params' must be an object, got {params!r}")
+    meta = payload.get("meta")
+    meta = {} if meta is None else meta
+    if not isinstance(meta, dict):
+        raise RequestError(f"{at}'meta' must be an object, got {meta!r}")
+
+    # Backend routing matches the CLI: an explicit request is strict
+    # (naming a backend for a combinatorial algorithm is an error), a
+    # server-wide default is advisory (combinatorial tasks ignore it).
+    explicit = payload.get("backend")
+    if explicit is not None and not isinstance(explicit, str):
+        raise RequestError(
+            f"{at}'backend' must be a string, got {explicit!r}"
+        )
+    try:
+        backend_params = backend_task_params(
+            problem,
+            algorithm,
+            explicit if explicit is not None else default_backend,
+            strict=explicit is not None,
+        )
+    except ValueError as exc:
+        raise RequestError(f"{at}{exc}") from None
+
+    if "instance" not in payload:
+        raise RequestError(
+            f"{at}missing 'instance' "
+            "(an object with a 'jobs' array of "
+            "{release, deadline, length[, id]})"
+        )
+    try:
+        instance = instance_from_payload(payload["instance"])
+    except (ValueError, TypeError) as exc:
+        # TypeError guards against payload shapes the io-level validation
+        # missed: a malformed instance must answer 400, never tear down
+        # the handler thread.
+        raise RequestError(f"{at}{exc}") from None
+
+    timeout = payload.get("timeout", default_timeout)
+    if timeout is not None and (
+        isinstance(timeout, bool)
+        or not isinstance(timeout, (int, float))
+        or timeout <= 0
+    ):
+        raise RequestError(
+            f"{at}'timeout' must be a positive number of seconds, "
+            f"got {timeout!r}"
+        )
+
+    return make_task(
+        index=index or 0,
+        problem=problem,
+        algorithm=algorithm,
+        g=g,
+        instance=instance,
+        params={**params, **backend_params},
+        meta=meta,
+        timeout=float(timeout) if timeout is not None else None,
+    )
+
+
+class ServeApp:
+    """Server-side state shared by every request: runner + cache + defaults.
+
+    One :class:`BatchRunner` (guarded by a lock — solver waves are
+    serialized, HTTP I/O stays concurrent) over one
+    :class:`ResultCache`.  A cache is always present, even memory-only:
+    it is what dedupes repeated requests server-side.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        default_backend: str | None = None,
+        default_timeout: float | None = None,
+        wave_size: int | None = None,
+    ) -> None:
+        if default_backend is not None:
+            resolve_backend(default_backend)  # typo -> menu, at startup
+        if wave_size is not None and wave_size < 1:
+            raise ValueError(f"wave_size must be >= 1, got {wave_size}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.runner = BatchRunner(jobs=jobs, cache=self.cache)
+        self.default_backend = default_backend
+        self.default_timeout = default_timeout
+        #: Tasks per streaming wave on ``/batch``: small enough that the
+        #: first results reach the client early, large enough to keep a
+        #: full worker pool busy.
+        self.wave_size = wave_size or max(8, 2 * jobs)
+        self._lock = threading.Lock()
+        self.batches_served = 0
+        self.tasks_served = 0
+
+    # ------------------------------------------------------------------
+    def algos_payload(self) -> dict[str, Any]:
+        """The ``GET /algos`` body: solver registry + backend registry."""
+        return {
+            "problems": {p: list(REGISTRY.names(p)) for p in PROBLEMS},
+            "solvers": [
+                {
+                    "problem": spec.problem,
+                    "name": spec.name,
+                    "exact": spec.exact,
+                    "guarantee": spec.guarantee,
+                    "complexity": spec.complexity,
+                    "description": spec.description,
+                    "capabilities": sorted(spec.capabilities),
+                    "backend_capability": spec.backend_capability,
+                }
+                for spec in REGISTRY.specs()
+            ],
+            "backends": [backend_status(name) for name in backend_names()],
+            "defaults": {
+                "algorithm": dict(_DEFAULT_ALGORITHM),
+                "backend": self.default_backend,
+                "timeout": self.default_timeout,
+                "jobs": self.runner.jobs,
+            },
+        }
+
+    def health_payload(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "jobs": self.runner.jobs,
+            "batches_served": self.batches_served,
+            "tasks_served": self.tasks_served,
+            "cache": self.cache.stats,
+        }
+
+    # ------------------------------------------------------------------
+    def solve_one(self, task: Task) -> TaskResult:
+        """Run one task through the shared runner/cache."""
+        with self._lock:
+            result = self.runner.run([task])[0]
+            self.tasks_served += 1
+        return result
+
+    def run_batch(self, tasks: Sequence[Task]) -> Iterator[TaskResult]:
+        """Yield results for ``tasks`` in task order, computed in waves.
+
+        Each wave goes through :meth:`BatchRunner.run`, so in-wave
+        duplicates are solved once and every completed wave lands in the
+        shared cache — which also dedupes duplicates across waves and
+        across repeated batches.
+        """
+        for start in range(0, len(tasks), self.wave_size):
+            wave = tasks[start : start + self.wave_size]
+            with self._lock:
+                results = self.runner.run(wave)
+                self.tasks_served += len(wave)
+            yield from results
+        with self._lock:
+            self.batches_served += 1
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """Route the three endpoints onto the shared :class:`ServeApp`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        if path == "/algos":
+            self._send_json(200, self.app.algos_payload())
+        elif path in ("/healthz", "/health"):
+            self._send_json(200, self.app.health_payload())
+        else:
+            self._send_error(404, self._unknown_path(path))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        try:
+            if path == "/solve":
+                self._handle_solve()
+            elif path == "/batch":
+                self._handle_batch()
+            else:
+                self._send_error(404, self._unknown_path(path))
+        except RequestError as exc:
+            self._send_error(exc.status, str(exc))
+
+    @staticmethod
+    def _unknown_path(path: str) -> str:
+        return (
+            f"unknown path {path!r}; endpoints: GET /algos, GET /healthz, "
+            "POST /solve, POST /batch"
+        )
+
+    # ------------------------------------------------------------------
+    def _handle_solve(self) -> None:
+        payload = self._read_json_body()
+        task = parse_task_request(
+            payload,
+            default_backend=self.app.default_backend,
+            default_timeout=self.app.default_timeout,
+        )
+        result = self.app.solve_one(task)
+        self._send_json(200, result.to_record())
+
+    def _handle_batch(self) -> None:
+        body = self._read_body()
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise RequestError(f"batch body is not UTF-8: {exc}") from None
+        tasks: list[Task] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RequestError(
+                    f"line {lineno}: malformed JSON ({exc.msg}); "
+                    "batch bodies are JSONL, one task object per line"
+                ) from None
+            try:
+                tasks.append(
+                    parse_task_request(
+                        payload,
+                        index=len(tasks),
+                        default_backend=self.app.default_backend,
+                        default_timeout=self.app.default_timeout,
+                    )
+                )
+            except RequestError as exc:
+                # Validate the whole stream before solving anything: a
+                # typo on line 40 must not waste 39 solves.
+                raise RequestError(f"line {lineno}: {exc}") from None
+
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for result in self.app.run_batch(tasks):
+            line = json.dumps(result.to_record(), sort_keys=True) + "\n"
+            self._write_chunk(line.encode("utf-8"))
+        self._end_chunked()
+
+    # ------------------------------------------------------------------
+    # Body / response plumbing
+    # ------------------------------------------------------------------
+    def _read_body(self) -> bytes:
+        # Erroring *before* draining the body must also close the
+        # connection: on HTTP/1.1 keep-alive the unread body bytes would
+        # otherwise be parsed as the next request line, corrupting every
+        # later request on the connection.
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self.close_connection = True
+            raise RequestError(
+                "missing or malformed Content-Length header", status=411
+            ) from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            raise RequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit",
+                status=413,
+            )
+        return self.rfile.read(length)
+
+    def _read_json_body(self) -> Any:
+        body = self._read_body()
+        try:
+            return json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RequestError(f"request body is not valid JSON: {exc}") \
+                from None
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message, "status": status})
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()  # the whole point of streaming: deliver now
+
+    def _end_chunked(self) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying the shared :class:`ServeApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: ServeApp,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ReproRequestHandler)
+        self.app = app
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    default_backend: str | None = None,
+    default_timeout: float | None = None,
+    wave_size: int | None = None,
+    verbose: bool = False,
+) -> ReproHTTPServer:
+    """Build a ready-to-run server (``port=0`` picks an ephemeral port)."""
+    app = ServeApp(
+        jobs=jobs,
+        cache=cache,
+        default_backend=default_backend,
+        default_timeout=default_timeout,
+        wave_size=wave_size,
+    )
+    return ReproHTTPServer((host, port), app, verbose=verbose)

@@ -25,6 +25,7 @@ from .registry import (
     available_backend_names,
     backend_menu,
     backend_names,
+    backend_status,
     get_backend,
     register_backend,
     resolve_backend,
@@ -45,6 +46,7 @@ __all__ = [
     "available_backend_names",
     "backend_menu",
     "backend_names",
+    "backend_status",
     "get_backend",
     "register_backend",
     "resolve_backend",

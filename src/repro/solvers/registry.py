@@ -31,6 +31,7 @@ __all__ = [
     "available_backend_names",
     "backend_menu",
     "backend_names",
+    "backend_status",
     "get_backend",
     "register_backend",
     "resolve_backend",
@@ -79,6 +80,28 @@ def backend_menu() -> str:
             parts.append(f"{name} (unavailable: {reason})" if reason
                          else f"{name} (unavailable)")
     return "; ".join(parts)
+
+
+def backend_status(name: str) -> dict[str, Any]:
+    """One backend's name, capabilities and availability, JSON-ready.
+
+    The shared source for every backend listing — the ``repro algos``
+    table and the serving layer's ``GET /algos`` both render from this,
+    so their menus cannot drift apart.
+    """
+    backend = get_backend(name)
+    if backend.available():
+        status = "default" if name == DEFAULT_BACKEND else "available"
+        reason = None
+    else:
+        status = "unavailable"
+        reason = getattr(backend, "unavailable_reason", lambda: "")() or None
+    return {
+        "name": name,
+        "capabilities": sorted(backend.capabilities()),
+        "status": status,
+        **({"reason": reason} if reason else {}),
+    }
 
 
 def get_backend(name: str) -> SolverBackend:

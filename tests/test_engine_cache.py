@@ -166,6 +166,56 @@ class TestDiskEviction:
         with pytest.raises(ValueError):
             ResultCache(directory=tmp_path, disk_budget=-1)
 
+    def test_disk_hit_refreshes_mtime(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(directory=tmp_path)
+        cache.put("hot", {"v": 1})
+        path = tmp_path / "hot.json"
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        # fresh instance: empty memory layer forces a *disk* hit
+        assert ResultCache(directory=tmp_path).get("hot") == {"v": 1}
+        assert path.stat().st_mtime > old + 1800
+
+    def test_read_entries_survive_eviction_over_unread_ones(self, tmp_path):
+        # Regression: prune() evicts oldest-mtime first, but get() never
+        # refreshed mtime — so the most frequently *read* entries were
+        # evicted first under a byte budget.
+        cache = ResultCache(directory=tmp_path)
+        self._fill(cache, 6)  # key-0 oldest ... key-5 newest
+        # Read the two oldest entries through a fresh (memory-empty)
+        # cache: disk hits must make them the *newest* by mtime.
+        reader = ResultCache(directory=tmp_path)
+        assert reader.get("key-0") is not None
+        assert reader.get("key-1") is not None
+
+        _, total = cache.disk_usage()
+        per_entry = total // 6
+        cache.prune(per_entry * 3)  # keep ~3 of 6
+        survivors = {p.name for p, _, _ in cache.disk_entries()}
+        # the hot (recently read) entries survive ...
+        assert "key-0.json" in survivors
+        assert "key-1.json" in survivors
+        # ... while the cold oldest-mtime entries were evicted first
+        assert "key-2.json" not in survivors
+        assert "key-3.json" not in survivors
+
+    def test_memory_hit_leaves_disk_mtime_alone(self, tmp_path):
+        # Only *disk* hits touch the file: a memory hit must not pay a
+        # syscall per lookup.
+        import os
+        import time
+
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", {"v": 1})
+        path = tmp_path / "k.json"
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        assert cache.get("k") == {"v": 1}  # served from memory
+        assert abs(path.stat().st_mtime - old) < 5
+
     def test_eviction_does_not_break_memory_layer(self, tmp_path):
         cache = ResultCache(directory=tmp_path, disk_budget=0)
         cache.put("k", {"v": 1})

@@ -163,10 +163,59 @@ class TestBatchRunner:
             BatchRunner(jobs=2, watchdog_grace=-1.0)
 
 
+class TestExecuteLengthInvariant:
+    """_execute must return exactly one result per pending task.
+
+    Regression: the execution strategies used to end with
+    ``[r for r in results if r is not None]`` — a dropped slot silently
+    shifted every later result onto the wrong task when ``run`` zipped
+    them against positions.
+    """
+
+    def test_strategy_dropping_a_result_is_an_error(
+        self, small_instances, monkeypatch
+    ):
+        runner = BatchRunner(jobs=2)
+        real = runner._run_parallel
+        monkeypatch.setattr(
+            runner, "_run_parallel", lambda pending: real(pending)[:-1]
+        )
+        with pytest.raises(RuntimeError, match="misaligned"):
+            runner.run(_tasks(small_instances))
+
+    def test_sealed_fills_gaps_with_positioned_failures(
+        self, small_instances
+    ):
+        tasks = _tasks(small_instances)
+        results = [execute_task(t) for t in tasks]
+        holed = [results[0], None, results[2]]
+        sealed = BatchRunner._sealed(holed, tasks)
+        assert len(sealed) == len(tasks)
+        assert sealed[0] is results[0] and sealed[2] is results[2]
+        assert not sealed[1].ok
+        assert sealed[1].digest == tasks[1].digest
+        assert "no result" in sealed[1].error
+
+    def test_watchdog_returns_one_result_per_task(self, small_instances):
+        # All-success path through the watchdog pool: exact length, no
+        # filtering, deterministic order.
+        tasks = _tasks(small_instances, timeout=30.0)
+        results = BatchRunner(jobs=2).run(tasks)
+        assert [r.index for r in results] == [0, 1, 2]
+        assert all(r.ok for r in results)
+
+
 def _stuck_solver(instance, g):
     """Simulate a solver wedged in native code: SIGALRM cannot fire."""
     signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
     time.sleep(60.0)
+
+
+def _dying_solver(instance, g):
+    """Simulate a worker killed mid-task (OOM killer, segfault, ...)."""
+    import os
+
+    os._exit(13)
 
 
 _FORK_ONLY = pytest.mark.skipif(
@@ -181,19 +230,34 @@ class TestWatchdog:
 
     @pytest.fixture(autouse=True)
     def stuck_solver(self):
+        yield from self._temp_solver(
+            "stuck-watchdog-test",
+            _stuck_solver,
+            "blocks SIGALRM then sleeps (test only)",
+        )
+
+    @pytest.fixture
+    def dying_solver(self):
+        yield from self._temp_solver(
+            "dying-watchdog-test",
+            _dying_solver,
+            "kills its own worker process (test only)",
+        )
+
+    @staticmethod
+    def _temp_solver(name, fn, description):
         from repro.engine.registry import REGISTRY, SolverSpec
 
-        name = "stuck-watchdog-test"
         if ("active", name) not in REGISTRY:
             REGISTRY.register(
                 SolverSpec(
                     problem="active",
                     name=name,
-                    solve=_stuck_solver,
+                    solve=fn,
                     exact=False,
                     guarantee="-",
                     complexity="-",
-                    description="blocks SIGALRM then sleeps (test only)",
+                    description=description,
                 )
             )
         yield name
@@ -265,6 +329,52 @@ class TestWatchdog:
         assert all("watchdog" in r.error for r in results)
         assert elapsed < 15.0
 
+    def test_worker_death_mid_task_is_replaced_and_positioned(
+        self, dying_solver, small_instances
+    ):
+        # Tasks 0 and 2 kill their worker processes outright; each must
+        # get a fresh replacement worker and an ok=False record at its
+        # own position, and task 1 must still succeed.
+        tasks = [
+            make_task(
+                index=i,
+                problem="active",
+                algorithm=dying_solver if i != 1 else "minimal",
+                g=2,
+                instance=inst,
+                timeout=20.0,
+            )
+            for i, inst in enumerate(small_instances)
+        ]
+        runner = BatchRunner(jobs=2)
+        results = runner.run(tasks)
+        assert len(results) == len(tasks)
+        assert [r.ok for r in results] == [False, True, False]
+        assert [r.index for r in results] == [0, 1, 2]
+        for pos in (0, 2):
+            assert results[pos].digest == tasks[pos].digest
+            assert "died" in results[pos].error
+        # deaths are not timeouts: the watchdog never had to fire
+        assert runner.last_watchdog_kills == 0
+
+    def test_dead_duplicates_are_retried_through_the_watchdog(
+        self, dying_solver, small_instances
+    ):
+        # Duplicate of a task whose worker died: the retry must go back
+        # through the watchdog pool (an inline retry would kill the
+        # parent-side guarantees for wedged solvers) and must also come
+        # back as a positioned failure.
+        inst = small_instances[0]
+        tasks = [
+            make_task(index=i, problem="active", algorithm=dying_solver,
+                      g=2, instance=inst, timeout=20.0)
+            for i in range(2)
+        ]
+        results = BatchRunner(jobs=2).run(tasks)
+        assert [r.ok for r in results] == [False, False]
+        assert [r.index for r in results] == [0, 1]
+        assert all("died" in r.error for r in results)
+
     def test_python_level_timeout_still_uses_sigalrm(self, small_instances):
         # A sleeping (not wedged) solver is interrupted by SIGALRM inside
         # the grace window, so the watchdog never has to kill anything.
@@ -304,6 +414,40 @@ class TestSweep:
         )
         with pytest.raises(ValueError, match="does not produce"):
             grid.validate()
+
+    def test_instance_seeds_distinct_across_registered_generators(self):
+        # Regression: the seed mix used to fold the generator hash
+        # through ``% 97``, so two generator names could collide and
+        # silently share instances (and digests) across families.
+        from repro.engine.sweep import _instance_seed
+        from repro.instances import SWEEP_GENERATORS
+
+        for g in (1, 2, 3):
+            for rep in range(3):
+                seeds = {
+                    gen: _instance_seed(2014, gen, g, rep)
+                    for gen in SWEEP_GENERATORS
+                }
+                assert len(set(seeds.values())) == len(seeds), seeds
+
+    def test_seed_uses_full_hash_not_mod_97(self):
+        # Construct two names that collide under the old ``% 97`` fold
+        # but have different full hashes: they must get distinct seeds.
+        from repro.engine.sweep import _instance_seed, hash_str
+
+        by_residue = {}
+        collision = None
+        for i in range(10_000):
+            name = f"gen-{i}"
+            residue = hash_str(name) % 97
+            other = by_residue.setdefault(residue, name)
+            if other != name and hash_str(other) != hash_str(name):
+                collision = (other, name)
+                break
+        assert collision is not None
+        a, b = collision
+        assert hash_str(a) % 97 == hash_str(b) % 97
+        assert _instance_seed(2014, a, 2, 0) != _instance_seed(2014, b, 2, 0)
 
     def test_run_sweep_aggregates(self, tmp_path):
         outcome = run_sweep(

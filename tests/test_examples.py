@@ -66,3 +66,9 @@ def test_capacity_sweep(capsys):
     out = run_example("capacity_planning_sweep.py", capsys, ["2"])
     assert "Active time vs capacity" in out
     assert "Busy time vs capacity" in out
+
+
+def test_serve_smoke(capsys):
+    out = run_example("serve_smoke.py", capsys)
+    assert "serve smoke OK" in out
+    assert "deduped server-side" in out

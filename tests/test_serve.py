@@ -1,0 +1,364 @@
+"""Tests for the HTTP/JSONL serving front end (repro.serve).
+
+A real ThreadingHTTPServer is started on an ephemeral port and driven
+through the urllib client plus raw HTTP where headers matter.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core import Instance
+from repro.engine import REGISTRY, ResultCache
+from repro.serve import (
+    RequestError,
+    ServeClient,
+    ServeClientError,
+    create_server,
+    parse_task_request,
+    task_request,
+)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    srv = create_server(
+        port=0,
+        jobs=1,
+        cache=ResultCache(directory=cache_dir),
+        wave_size=2,  # force multi-wave streaming on small batches
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5.0)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(server.url)
+
+
+@pytest.fixture
+def inst():
+    return Instance.from_tuples([(0, 4, 2), (1, 5, 3)])
+
+
+def _post_raw(server, path, body: bytes):
+    """Raw POST for header-level and malformed-body assertions."""
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(
+            "POST", path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestAlgosEndpoint:
+    def test_lists_every_registered_solver(self, client):
+        payload = client.algos()
+        served = {(s["problem"], s["name"]) for s in payload["solvers"]}
+        assert served == {spec.key for spec in REGISTRY.specs()}
+        assert payload["problems"]["active"] == list(REGISTRY.names("active"))
+
+    def test_lists_backends_with_capabilities(self, client):
+        backends = {b["name"]: b for b in client.algos()["backends"]}
+        assert {"scipy-highs", "reference", "mip"} <= set(backends)
+        assert "lp" in backends["scipy-highs"]["capabilities"]
+        assert backends["scipy-highs"]["status"] in ("default", "unavailable")
+
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["ok"] is True
+        assert "cache" in health and "jobs" in health
+
+
+class TestSolveEndpoint:
+    def test_roundtrip_matches_inprocess_solve(self, client, inst):
+        result = client.solve(inst, "active", 2, algorithm="minimal")
+        direct = REGISTRY.solve("active", "minimal", inst, 2)
+        assert result.ok
+        assert result.objective == direct.objective
+        assert result.n == 2
+
+    def test_default_algorithm_is_cli_default(self, client, inst):
+        result = client.solve(inst, "busy", 2)
+        assert result.ok
+        assert result.algorithm == "greedy_tracking"
+
+    def test_meta_and_params_roundtrip(self, client, inst):
+        result = client.solve(
+            inst, "active", 2, algorithm="minimal", meta={"source": "test"}
+        )
+        assert result.meta == {"source": "test"}
+
+    def test_repeat_solve_is_a_cache_hit(self, client):
+        fresh = Instance.from_tuples([(0, 6, 2), (2, 7, 3), (1, 5, 1)])
+        first = client.solve(fresh, "active", 3, algorithm="minimal")
+        again = client.solve(fresh, "active", 3, algorithm="minimal")
+        assert not first.cached
+        assert again.cached
+        assert again.objective == first.objective
+
+    def test_unknown_algorithm_gets_menu(self, client, inst):
+        with pytest.raises(ServeClientError) as err:
+            client.solve(inst, "active", 2, algorithm="nope")
+        assert err.value.status == 400
+        # the registry's menu message, verbatim
+        assert "registered" in str(err.value)
+        assert "minimal" in str(err.value)
+
+    def test_unknown_backend_gets_menu(self, client, inst):
+        with pytest.raises(ServeClientError) as err:
+            client.solve(inst, "active", 2, backend="glpk")
+        assert err.value.status == 400
+        assert "scipy-highs" in str(err.value)
+
+    def test_backend_on_combinatorial_algorithm_errors(self, client, inst):
+        with pytest.raises(ServeClientError) as err:
+            client.solve(
+                inst, "active", 2, algorithm="minimal", backend="reference"
+            )
+        assert err.value.status == 400
+        assert "combinatorial" in str(err.value)
+
+    def test_solver_failure_is_an_ok_false_record_not_an_error(self, client):
+        infeasible = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        result = client.solve(infeasible, "active", 1, algorithm="minimal")
+        assert not result.ok
+        assert result.error
+
+    def test_bad_json_body_is_400(self, server):
+        status, _, body = _post_raw(server, "/solve", b"{not json")
+        assert status == 400
+        assert "not valid JSON" in json.loads(body)["error"]
+
+    def test_missing_g_is_400(self, server, inst):
+        request = task_request(inst, "active", 2)
+        del request["g"]
+        status, _, body = _post_raw(
+            server, "/solve", json.dumps(request).encode()
+        )
+        assert status == 400
+        assert "'g'" in json.loads(body)["error"]
+
+    def test_unknown_field_is_400(self, server, inst):
+        request = {**task_request(inst, "active", 2), "algoritm": "minimal"}
+        status, _, body = _post_raw(
+            server, "/solve", json.dumps(request).encode()
+        )
+        assert status == 400
+        assert "algoritm" in json.loads(body)["error"]
+
+    def test_handwritten_instance_without_marker(self, server):
+        # curl-style minimal body: bare jobs array, ids defaulted
+        request = {
+            "instance": {"jobs": [
+                {"release": 0, "deadline": 4, "length": 2},
+                {"release": 1, "deadline": 5, "length": 3},
+            ]},
+            "problem": "active",
+            "algorithm": "minimal",
+            "g": 2,
+        }
+        status, _, body = _post_raw(
+            server, "/solve", json.dumps(request).encode()
+        )
+        assert status == 200
+        assert json.loads(body)["ok"]
+
+
+class TestBatchEndpoint:
+    def _requests(self, inst):
+        other = Instance.from_tuples([(0, 3, 1), (2, 6, 2), (1, 4, 2)])
+        return [
+            task_request(inst, "active", 2, algorithm="minimal",
+                         meta={"pos": 0}),
+            task_request(other, "active", 2, algorithm="minimal",
+                         meta={"pos": 1}),
+            task_request(inst, "active", 2, algorithm="minimal",
+                         meta={"pos": 2}),  # duplicate of pos 0
+            task_request(other, "busy", 2, algorithm="first_fit",
+                         meta={"pos": 3}),
+        ]
+
+    def test_ordered_jsonl_with_server_side_dedupe(self, client, inst):
+        results = list(client.batch(self._requests(inst)))
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert [r.meta["pos"] for r in results] == [0, 1, 2, 3]
+        assert all(r.ok for r in results)
+        # the duplicate reuses the first occurrence's result
+        assert results[2].cached
+        assert results[2].objective == results[0].objective
+
+    def test_repost_hits_cache_for_every_task(self, client, inst):
+        requests = self._requests(inst)
+        list(client.batch(requests))
+        again = list(client.batch(requests))
+        assert [r.index for r in again] == [0, 1, 2, 3]
+        assert all(r.cached for r in again)
+
+    def test_streams_chunked_ndjson(self, server, inst):
+        body = "".join(
+            json.dumps(r) + "\n" for r in self._requests(inst)
+        ).encode()
+        status, headers, raw = _post_raw(server, "/batch", body)
+        assert status == 200
+        assert headers.get("Transfer-Encoding") == "chunked"
+        assert headers.get("Content-Type") == "application/x-ndjson"
+        lines = [json.loads(line) for line in raw.splitlines() if line]
+        assert [r["index"] for r in lines] == [0, 1, 2, 3]
+
+    def test_malformed_line_fails_whole_batch_before_solving(
+        self, server, client, inst
+    ):
+        tasks_before = client.health()["tasks_served"]
+        good = json.dumps(task_request(inst, "active", 2))
+        status, _, body = _post_raw(
+            server, "/batch", (good + "\n{oops\n").encode()
+        )
+        assert status == 400
+        assert "line 2" in json.loads(body)["error"]
+        assert client.health()["tasks_served"] == tasks_before
+
+    def test_invalid_task_names_its_line(self, server, inst):
+        bad = json.dumps(task_request(inst, "active", 2, algorithm="nope"))
+        status, _, body = _post_raw(server, "/batch", (bad + "\n").encode())
+        assert status == 400
+        message = json.loads(body)["error"]
+        assert "line 1" in message and "registered" in message
+
+    def test_empty_batch_is_empty_stream(self, client):
+        assert list(client.batch([])) == []
+
+
+class TestHTTPPlumbing:
+    def test_unknown_path_is_404_with_endpoint_menu(self, server):
+        status, _, body = _post_raw(server, "/nope", b"{}")
+        assert status == 404
+        assert "/batch" in json.loads(body)["error"]
+
+    def test_get_on_post_endpoint_is_404(self, client, server):
+        with pytest.raises(ServeClientError) as err:
+            client._get_json("/solve")
+        assert err.value.status == 404
+
+    def test_missing_content_length_is_411(self, server):
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.putrequest("POST", "/solve", skip_accept_encoding=True)
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 411
+        finally:
+            conn.close()
+
+    def test_non_numeric_job_field_is_400_not_a_dropped_connection(
+        self, server
+    ):
+        # Regression: a quoted number in a hand-written payload raised
+        # TypeError inside Job arithmetic, escaping the RequestError
+        # handler — the thread tracebacked and the client saw a reset.
+        request = {
+            "instance": {"jobs": [
+                {"release": "0", "deadline": 4, "length": 2},
+            ]},
+            "problem": "active", "algorithm": "minimal", "g": 2,
+        }
+        status, _, body = _post_raw(
+            server, "/solve", json.dumps(request).encode()
+        )
+        assert status == 400
+        assert "'release'" in json.loads(body)["error"]
+
+    def test_oversized_body_is_413_and_closes_the_connection(self, server):
+        # Regression: erroring before draining the body left the unread
+        # bytes on a keep-alive connection, where they were parsed as
+        # the next request line and corrupted every later request.
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.putrequest("POST", "/solve", skip_accept_encoding=True)
+            conn.putheader("Content-Length", str(200 * 1024 * 1024))
+            conn.endheaders()
+            conn.send(b'{"x": 1}')  # partial body the server never reads
+            response = conn.getresponse()
+            assert response.status == 413
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            conn.close()
+
+
+class TestParseTaskRequest:
+    """Unit-level validation, independent of HTTP."""
+
+    def test_produces_same_digest_as_cli_path(self, inst):
+        from repro.engine import make_task
+
+        task = parse_task_request(task_request(inst, "active", 2,
+                                               algorithm="minimal"))
+        direct = make_task(index=0, problem="active", algorithm="minimal",
+                           g=2, instance=inst)
+        assert task.digest == direct.digest
+
+    def test_default_backend_applies_to_lp_algorithms_only(self, inst):
+        lp_task = parse_task_request(
+            task_request(inst, "active", 2, algorithm="rounding"),
+            default_backend="reference",
+        )
+        assert lp_task.params["backend"] == "reference"
+        comb_task = parse_task_request(
+            task_request(inst, "active", 2, algorithm="minimal"),
+            default_backend="reference",
+        )
+        assert "backend" not in comb_task.params
+
+    def test_default_timeout_applies_when_unset(self, inst):
+        task = parse_task_request(
+            task_request(inst, "active", 2), default_timeout=4.5
+        )
+        assert task.timeout == 4.5
+        override = parse_task_request(
+            task_request(inst, "active", 2, timeout=1.0),
+            default_timeout=4.5,
+        )
+        assert override.timeout == 1.0
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda r: r.__setitem__("g", 0), "'g'"),
+            (lambda r: r.__setitem__("g", True), "'g'"),
+            (lambda r: r.__setitem__("timeout", -1), "'timeout'"),
+            (lambda r: r.__setitem__("params", []), "'params'"),
+            (lambda r: r.__setitem__("problem", "both"), "unknown problem"),
+            (lambda r: r.pop("instance"), "missing 'instance'"),
+            (
+                lambda r: r.__setitem__("instance", {"jobs": "x"}),
+                "'jobs' array",
+            ),
+        ],
+    )
+    def test_rejects_bad_fields(self, inst, mutate, fragment):
+        request = task_request(inst, "active", 2, timeout=2.0)
+        mutate(request)
+        with pytest.raises(RequestError) as err:
+            parse_task_request(request, index=5)
+        assert fragment in str(err.value)
+        assert "task 5" in str(err.value)
+
+    def test_batch_index_becomes_task_index(self, inst):
+        task = parse_task_request(task_request(inst, "active", 2), index=7)
+        assert task.index == 7
