@@ -6,7 +6,12 @@ client, and checks the serving contract end to end:
 
 * results come back as JSONL **in task order**;
 * the duplicate digest is deduped server-side (``cached`` on first POST);
-* re-POSTing the same batch hits the shared result cache for every task.
+* re-POSTing the same batch hits the shared result cache for every task;
+* ``/batch`` streams **incrementally**: with one deliberately slow task
+  at the tail (a pure-Python reference-simplex LP capped by its
+  ``timeout``), the first JSONL line reaches the client seconds before
+  the last one — finished results are never held back by a slow
+  neighbour.
 
 CI runs this as the serving-smoke leg; it is also the minimal usage
 example for :mod:`repro.serve`.
@@ -17,11 +22,17 @@ import re
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 import repro
 from repro.core import Instance
+from repro.instances import SWEEP_GENERATORS
 from repro.serve import ServeClient, task_request
+
+#: Budget for the deliberately slow task; the incremental-arrival
+#: assertion keys off it (first line << SLOW_TIMEOUT, last line >= it).
+SLOW_TIMEOUT = 2.5
 
 
 def start_server(cache_dir: str) -> tuple[subprocess.Popen, str]:
@@ -44,6 +55,47 @@ def start_server(cache_dir: str) -> tuple[subprocess.Popen, str]:
         proc.terminate()
         raise RuntimeError(f"server did not announce a URL: {banner!r}")
     return proc, match.group(1)
+
+
+def check_incremental_streaming(client: ServeClient) -> None:
+    """First JSONL line must arrive long before the slow tail task ends.
+
+    The slow task is deterministic: LP rounding through the pure-Python
+    ``reference`` simplex on a 100-job instance takes far longer than
+    ``SLOW_TIMEOUT``, and its per-task timeout (soft SIGALRM inside the
+    worker, hard watchdog above it) cuts it off at ~``SLOW_TIMEOUT``
+    seconds — so the batch's last line cannot arrive before then, while
+    the two tiny leading tasks stream out immediately.
+    """
+    big = SWEEP_GENERATORS["active"](100, 200, 3, 7)
+    requests = [
+        task_request(Instance.from_tuples([(0, 5, 2), (1, 7, 3)]),
+                     "active", 2, algorithm="minimal"),
+        task_request(Instance.from_tuples([(0, 4, 1), (2, 9, 3)]),
+                     "active", 2, algorithm="minimal"),
+        task_request(big, "active", 3, algorithm="rounding",
+                     backend="reference", timeout=SLOW_TIMEOUT),
+    ]
+    start = time.monotonic()
+    arrivals = [
+        (result.index, time.monotonic() - start, result.ok)
+        for result in client.batch(requests)
+    ]
+    assert [index for index, _, _ in arrivals] == [0, 1, 2], arrivals
+    first, last = arrivals[0][1], arrivals[-1][1]
+    assert first < SLOW_TIMEOUT * 0.8, (
+        f"first line took {first:.2f}s; streaming is not incremental"
+    )
+    assert last >= SLOW_TIMEOUT * 0.9, (
+        f"slow task finished in {last:.2f}s; it no longer pins the tail"
+    )
+    slow = arrivals[-1]
+    assert not slow[2], "the timeout-capped task should report a failure"
+    print(
+        f"incremental : first line {first:.2f}s, "
+        f"last line {last:.2f}s after POST (slow tail capped at "
+        f"{SLOW_TIMEOUT:g}s)"
+    )
 
 
 def main() -> None:
@@ -91,6 +143,8 @@ def main() -> None:
             assert health["ok"] and health["cache"]["hits"] >= 4, health
             print(f"serve smoke OK: {health['tasks_served']} tasks served, "
                   f"{health['cache']['hits']} cache hits")
+
+            check_incremental_streaming(client)
         finally:
             proc.terminate()
             proc.wait(timeout=10)

@@ -38,6 +38,7 @@ CLI holds no algorithm lists of its own.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -167,6 +168,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default="sweep_results.jsonl", help="JSONL result file"
     )
     p_sweep.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each result as a JSONL line on stdout the moment it "
+        "completes (tables/summary move to stderr)",
+    )
+    p_sweep.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"on-disk result cache (default {DEFAULT_CACHE_DIR})",
@@ -199,6 +206,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs 1 (see sweep --timeout)",
     )
     p_batch.add_argument("--out", default=None, help="JSONL result file")
+    p_batch.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each result as a JSONL line on stdout the moment it "
+        "completes (tables/summary move to stderr)",
+    )
     p_batch.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p_batch.add_argument("--no-cache", action="store_true")
 
@@ -363,6 +376,15 @@ def _make_cache(args) -> ResultCache | None:
     return ResultCache(directory=args.cache_dir)
 
 
+def _emit_jsonl(result) -> None:
+    """Print one result as a sorted-key JSONL line, unbuffered.
+
+    The flush is the point of ``--stream``: each record must reach a
+    pipe/consumer the moment the engine yields it, not at exit.
+    """
+    print(json.dumps(result.to_record(), sort_keys=True), flush=True)
+
+
 def _cmd_sweep(args) -> int:
     problems = ("active", "busy") if args.problem == "both" else (args.problem,)
     generators = _split_csv(args.generators)
@@ -438,12 +460,16 @@ def _cmd_sweep(args) -> int:
         cache=_make_cache(args),
         base_seed=args.seed,
         limit=args.limit,
+        on_result=_emit_jsonl if args.stream else None,
     )
     written = write_results(outcome.results, args.out)
-    print(outcome.table)
-    print()
-    print(outcome.summary)
-    print(f"results  : {written} records -> {args.out}")
+    # With --stream, stdout is a JSONL pipe; human-facing report lines
+    # move to stderr so downstream parsers see records only.
+    report = sys.stderr if args.stream else sys.stdout
+    print(outcome.table, file=report)
+    print(file=report)
+    print(outcome.summary, file=report)
+    print(f"results  : {written} records -> {args.out}", file=report)
     for result in outcome.results:
         if not result.ok:
             print(f"error    : {result.error}", file=sys.stderr)
@@ -478,8 +504,13 @@ def _cmd_batch(args) -> int:
                     timeout=args.timeout,
                 )
             )
-    runner = BatchRunner(jobs=args.jobs, cache=_make_cache(args))
-    results = runner.run(tasks)
+    with BatchRunner(jobs=args.jobs, cache=_make_cache(args)) as runner:
+        results = []
+        for result in runner.run_stream(tasks):
+            if args.stream:
+                _emit_jsonl(result)
+            results.append(result)
+        cache_hits = runner.last_cache_hits
     rows = [
         [
             r.meta.get("path", r.digest[:12]),
@@ -490,19 +521,22 @@ def _cmd_batch(args) -> int:
         ]
         for r in results
     ]
+    # With --stream, stdout carries records only; reports go to stderr.
+    report = sys.stderr if args.stream else sys.stdout
     print(
         format_table(
             f"batch {args.problem}/{algorithm} g={args.g}",
             ["instance", "status", "objective", "cache", "sec"],
             rows,
-        )
+        ),
+        file=report,
     )
-    print()
-    print(aggregate_table(results, "batch aggregate"))
-    print(f"cache hits: {runner.last_cache_hits}/{len(tasks)}")
+    print(file=report)
+    print(aggregate_table(results, "batch aggregate"), file=report)
+    print(f"cache hits: {cache_hits}/{len(tasks)}", file=report)
     if args.out:
         written = write_results(results, args.out)
-        print(f"results  : {written} records -> {args.out}")
+        print(f"results  : {written} records -> {args.out}", file=report)
     failures = [r for r in results if not r.ok]
     for result in failures:
         print(f"error    : {result.error}", file=sys.stderr)
@@ -550,7 +584,18 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+
     from .serve import create_server
+
+    # The runner's worker pools now outlive individual batches, so a
+    # bare SIGTERM (docker stop, subprocess .terminate()) must run the
+    # close path below — otherwise worker processes are orphaned holding
+    # each other's inherited pipe ends and linger long after the server.
+    def _on_term(signum, frame):
+        raise SystemExit(128 + signum)
+
+    signal.signal(signal.SIGTERM, _on_term)
 
     if args.no_cache:
         cache = ResultCache()  # memory-only: still dedupes across requests

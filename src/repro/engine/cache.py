@@ -11,14 +11,19 @@ any extra parameters.  Two layers:
   applies the same policy from the CLI).
 
 Only JSON-serializable result records go through the cache — schedules
-stay in-process.
+stay in-process.  Records are deep-copied at the ``get``/``put``
+boundary, so a caller mutating a record it handed in or got back can
+never corrupt the cached entry, and the memory layer is guarded by a
+lock so concurrent serving threads share one cache safely.
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Mapping
@@ -120,6 +125,7 @@ class ResultCache:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         #: Disk entries evicted over this cache's lifetime.
@@ -134,7 +140,8 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def _disk_path(self, key: str) -> Path | None:
         if self.directory is None:
@@ -142,12 +149,18 @@ class ResultCache:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> dict[str, Any] | None:
-        """Return the cached record for ``key`` or ``None`` on a miss."""
-        record = self._memory.get(key)
-        if record is not None:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            return dict(record)
+        """Return the cached record for ``key`` or ``None`` on a miss.
+
+        The returned record is the caller's own deep copy: mutating it
+        (including nested ``metrics``/``meta`` dicts) never touches the
+        cached entry.
+        """
+        with self._lock:
+            record = self._memory.get(key)
+            if record is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return copy.deepcopy(record)
         path = self._disk_path(key)
         if path is not None and path.exists():
             try:
@@ -162,31 +175,43 @@ class ResultCache:
                     os.utime(path)
                 except OSError:
                     pass  # e.g. concurrently pruned; the read still wins
-                self._store_memory(key, record)
-                self.hits += 1
-                return dict(record)
-        self.misses += 1
+                with self._lock:
+                    self._store_memory(key, record)
+                    self.hits += 1
+                # ``record`` came fresh off disk and _store_memory keeps
+                # its own deep copy, so handing it out directly is safe.
+                return record
+        with self._lock:
+            self.misses += 1
         return None
 
     def put(self, key: str, record: Mapping[str, Any]) -> None:
-        """Store a JSON-serializable record under ``key``."""
-        payload = dict(record)
-        self._store_memory(key, payload)
+        """Store a JSON-serializable record under ``key``.
+
+        The cache keeps a deep copy: later mutation of ``record`` (or
+        its nested dicts) by the caller does not reach the cache.
+        """
+        with self._lock:
+            self._store_memory(key, record)
         path = self._disk_path(key)
         if path is not None:
             # Unique tmp name: concurrent runs sharing a cache directory
             # may put the same digest; a fixed tmp name would race.
             tmp = path.with_suffix(f".{os.getpid()}.{id(self):x}.tmp")
-            text = json.dumps(payload, sort_keys=True)
+            text = json.dumps(record, sort_keys=True)
             tmp.write_text(text)
             tmp.replace(path)
             if self.disk_budget is not None:
-                self._disk_estimate += len(text)
-                if self._disk_estimate > self.disk_budget:
+                with self._lock:
+                    self._disk_estimate += len(text)
+                    threatened = self._disk_estimate > self.disk_budget
+                if threatened:
                     self.prune()
 
     def _store_memory(self, key: str, record: Mapping[str, Any]) -> None:
-        self._memory[key] = dict(record)
+        # Deep copy at the boundary: the nested metrics/meta dicts must
+        # not be aliased between the cache and any caller.
+        self._memory[key] = copy.deepcopy(dict(record))
         self._memory.move_to_end(key)
         while len(self._memory) > self.maxsize:
             self._memory.popitem(last=False)
@@ -245,8 +270,9 @@ class ResultCache:
             total -= size
             removed += 1
             removed_bytes += size
-        self.evictions += removed
-        self._disk_estimate = total  # re-anchor the running estimate
+        with self._lock:
+            self.evictions += removed
+            self._disk_estimate = total  # re-anchor the running estimate
         return {
             "removed": removed,
             "removed_bytes": removed_bytes,
@@ -258,13 +284,15 @@ class ResultCache:
     @property
     def stats(self) -> dict[str, int]:
         """Hit/miss counters plus the in-memory size."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._memory),
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._memory),
+                "evictions": self.evictions,
+            }
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk files are left alone)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()

@@ -5,13 +5,25 @@ Design points:
 * **Deterministic ordering** — results come back in task order no
   matter which worker finished first, so parallel and serial runs of
   the same task list produce identical records (modulo timings).
+* **Incremental delivery** — :meth:`BatchRunner.run_stream` yields each
+  result the moment it *and all its predecessors* are done, instead of
+  holding finished work hostage to the slowest task in a batch.
+  :meth:`BatchRunner.run` is simply the fully-collected stream.
+* **Persistent workers** — the process pool and the watchdog workers
+  belong to the runner, not to a single call: successive ``run`` /
+  ``run_stream`` calls reuse warm workers instead of re-spawning
+  interpreters per wave.  Use the runner as a context manager (or call
+  :meth:`close`) to release them deterministically.
 * **Cache first** — tasks whose content digest is already in the
   :class:`~repro.engine.cache.ResultCache` never reach the pool.
 * **Graceful failure** — a solver error becomes a ``TaskResult`` with
   ``ok=False`` (annotated with digest and seed by the worker); it never
-  kills the batch.
-* **Hard timeouts** — when any task carries a deadline, the parallel
-  path switches to a *watchdog pool*: dedicated worker processes served
+  kills the batch.  A worker OOM-killed under the plain process pool
+  breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`;
+  affected tasks get positioned failure results and the pool is rebuilt
+  for the remaining tasks instead of aborting the batch.
+* **Hard timeouts** — when any task carries a deadline, execution
+  switches to a *watchdog pool*: dedicated worker processes served
   over pipes, with the parent terminating and replacing any worker that
   overruns its task's budget (``SIGALRM`` cannot interrupt a solver
   stuck inside HiGHS C code; killing the process can).  The task gets a
@@ -19,16 +31,30 @@ Design points:
 * **Clean interrupt** — ``KeyboardInterrupt`` cancels outstanding
   futures and shuts the pool down without waiting, so Ctrl-C leaves no
   orphaned workers behind.
+
+Thread safety: concurrent ``run_stream`` calls from different threads
+(the serving front end does this) share the persistent pools safely —
+the executor is guarded by a lock and watchdog workers are leased from
+a shared idle list.  The ``last_cache_hits`` / ``last_watchdog_kills``
+counters describe the most recent call and are only meaningful when
+calls do not overlap.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
-from typing import Sequence
+from typing import Deque, Iterator, Sequence
 
 from .cache import ResultCache
 from .workers import Task, TaskResult, execute_task, failure_result, worker_loop
@@ -118,6 +144,11 @@ class BatchRunner:
         Extra seconds the parent allows past a task's ``timeout`` before
         terminating the worker — headroom for the in-worker ``SIGALRM``
         to fire first (it produces a cheaper, stack-annotated failure).
+
+    Worker processes persist across calls; use the runner as a context
+    manager (``with BatchRunner(jobs=4) as runner: ...``) or call
+    :meth:`close` to release them.  A closed runner may be reused — the
+    pools are rebuilt lazily on the next call.
     """
 
     def __init__(
@@ -140,6 +171,51 @@ class BatchRunner:
         self.last_cache_hits = 0
         #: Workers killed by the watchdog in the most recent :meth:`run`.
         self.last_watchdog_kills = 0
+        # Persistent plain process pool (no-timeout parallel path).
+        self._executor: ProcessPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        # Persistent watchdog workers, leased to streams: ``_wd_idle``
+        # holds workers not currently owned by any stream, ``_wd_total``
+        # counts every live worker (idle + leased) against ``jobs``,
+        # ``_wd_waiters`` counts streams blocked for a worker (holders
+        # shed one to them per completion — fairness), ``_wd_open``
+        # flips off in :meth:`close` so late releases from in-flight
+        # streams shut workers down instead of re-pooling them.
+        self._wd_cond = threading.Condition()
+        self._wd_idle: list[_WatchdogWorker] = []
+        self._wd_total = 0
+        self._wd_waiters = 0
+        self._wd_open = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the persistent worker pools.
+
+        Safe to call repeatedly; the runner remains usable afterwards
+        (pools are rebuilt lazily).  Workers leased to a stream that is
+        still being consumed are released by that stream's own cleanup,
+        not here.
+        """
+        self._discard_executor(cancel=True)
+        with self._wd_cond:
+            idle, self._wd_idle = self._wd_idle, []
+            self._wd_total -= len(idle)
+            # Workers still leased to a draining stream are not in the
+            # idle list; the closed flag makes their eventual release
+            # shut them down rather than re-pool them on a closed
+            # runner.  The next acquire reopens the pool.
+            self._wd_open = False
+            self._wd_cond.notify_all()
+        for worker in idle:
+            worker.shutdown()
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[Task]) -> list[TaskResult]:
@@ -149,13 +225,37 @@ class BatchRunner:
         first occurrence executes, later ones reuse its result (marked
         ``cached``) even when no :class:`ResultCache` is configured.
         """
-        results: list[TaskResult | None] = [None] * len(tasks)
-        pending: list[Task] = []
-        pending_pos: list[int] = []
-        first_by_digest: dict[str, int] = {}
-        dup_of: dict[int, int] = {}
+        return list(self.run_stream(tasks))
+
+    def run_stream(self, tasks: Sequence[Task]) -> Iterator[TaskResult]:
+        """Yield results for ``tasks`` in task order, incrementally.
+
+        Each result is yielded the moment it and every earlier task's
+        result is known — one slow task delays its successors' *yield*
+        but never their execution, and everything before it streams out
+        immediately.  Shares all of :meth:`run`'s semantics: cache-first
+        lookup, one solve per digest per run with ``cached`` reuse,
+        failure retry for duplicates, watchdog timeouts, and exactly one
+        result per task.
+
+        Planning (cache lookups, dedupe) happens eagerly at call time;
+        execution starts when iteration does.  Closing the iterator
+        early cancels tasks that have not been dispatched and discards
+        in-flight work.
+
+        The stream is pull-driven: watchdog deadline kills for in-flight
+        tasks are processed while the consumer iterates, so a consumer
+        that stops pulling defers them until it resumes or closes the
+        stream (the serving layer bounds this with a write-stall timeout
+        that closes the stream).
+        """
+        tasks = list(tasks)
         self.last_cache_hits = 0
         self.last_watchdog_kills = 0
+        results: list[TaskResult | None] = [None] * len(tasks)
+        work: Deque[tuple[int, Task]] = deque()
+        first_by_digest: dict[str, int] = {}
+        dups_by_first: dict[int, list[int]] = {}
 
         for pos, task in enumerate(tasks):
             hit = self._cache_lookup(task)
@@ -165,76 +265,86 @@ class BatchRunner:
                 continue
             first = first_by_digest.get(task.digest)
             if first is not None:
-                dup_of[pos] = first
+                dups_by_first.setdefault(first, []).append(pos)
                 continue
             first_by_digest[task.digest] = pos
-            pending.append(task)
-            pending_pos.append(pos)
+            work.append((pos, task))
 
-        if pending:
-            # strict: _execute guarantees one result per task, and a
-            # silent length mismatch here would shift every later result
-            # onto the wrong task.
-            for pos, result in zip(
-                pending_pos, self._execute(pending), strict=True
-            ):
-                results[pos] = result
-                self._cache_store(result)
-
-        retry: list[tuple[int, Task]] = []
-        for pos, first in dup_of.items():
-            source = results[first]
-            if source is not None and source.ok:
-                results[pos] = self._reanchor(source, tasks[pos])
-                self.last_cache_hits += 1
-            else:
-                # Mirrors _cache_store's policy: failures (timeouts,
-                # transient errors) are retried, never reused.
-                retry.append((pos, tasks[pos]))
-        if retry:
-            # Same dispatch as the first wave, so deadlined retries keep
-            # the watchdog (an inline retry of a natively-wedged solve
-            # would hang the parent past its timeout).
-            executed = self._execute([t for _, t in retry])
-            for (pos, _), result in zip(retry, executed, strict=True):
-                results[pos] = result
-                self._cache_store(result)
-
-        missing = [pos for pos, r in enumerate(results) if r is None]
-        if missing:  # pragma: no cover - guarded by _execute's invariant
-            raise RuntimeError(
-                f"BatchRunner produced no result for task position(s) "
-                f"{missing} of {len(tasks)}"
-            )
-        return results  # type: ignore[return-value]
+        return self._stream(tasks, results, work, dups_by_first)
 
     # ------------------------------------------------------------------
-    def _execute(self, pending: Sequence[Task]) -> list[TaskResult]:
-        """Dispatch one wave of tasks to the right execution strategy.
+    def _stream(
+        self,
+        tasks: list[Task],
+        results: list[TaskResult | None],
+        work: Deque[tuple[int, Task]],
+        dups_by_first: dict[int, list[int]],
+    ) -> Iterator[TaskResult]:
+        """Drive a strategy's completion events into an ordered stream.
+
+        The strategy generator yields ``(pos, result)`` events in
+        completion order; this merger stores them, resolves duplicate
+        positions (reuse on success — mirroring :meth:`_cache_store`'s
+        policy, failures such as timeouts are *retried* by appending the
+        duplicate to ``work``, never reused), and emits results in task
+        order as soon as each prefix is complete.
+        """
+        emitted = 0
+        total = len(tasks)
+        events = self._pick_strategy(tasks, work)(work)
+        try:
+            # Cache hits at the head of the list stream out immediately,
+            # before the first solve completes.
+            while emitted < total and results[emitted] is not None:
+                yield results[emitted]
+                emitted += 1
+            for pos, result in events:
+                if results[pos] is not None:
+                    raise RuntimeError(
+                        f"execution strategy produced a second result for "
+                        f"task position {pos}; results would be misaligned"
+                    )
+                results[pos] = result
+                self._cache_store(result)
+                for dup in dups_by_first.pop(pos, ()):
+                    if result.ok:
+                        results[dup] = self._reanchor(result, tasks[dup])
+                        self.last_cache_hits += 1
+                    else:
+                        work.append((dup, tasks[dup]))
+                while emitted < total and results[emitted] is not None:
+                    yield results[emitted]
+                    emitted += 1
+        finally:
+            events.close()
+        if emitted < total:
+            # A strategy lost track of a task (worker died in a way no
+            # handler caught): positioned failures, never dropped slots.
+            for sealed in self._sealed(results, tasks)[emitted:]:
+                yield sealed
+
+    def _pick_strategy(
+        self, tasks: Sequence[Task], work: Sequence[tuple[int, Task]]
+    ):
+        """Choose the execution strategy for one stream.
 
         Deadlined tasks need the watchdog even when only one is pending
         — the serial path's SIGALRM cannot interrupt a solver stuck in
-        native code.  jobs=1 stays in-process by contract (solvers
-        registered only in this process), so its timeouts remain soft.
-
-        Invariant: exactly one result per pending task, in task order.
-        Callers zip the returned list against task positions, so a
-        dropped slot would silently assign every later result to the
-        wrong task.  Strategies fill worker-death gaps with
-        ``failure_result`` (via :meth:`_sealed`) and never filter.
+        native code.  The deadline scan covers the *full* task list, not
+        just the initial work queue: a duplicate position carries its
+        own ``timeout`` (the digest excludes it), and its failure retry
+        joins the queue mid-stream — it must find the watchdog already
+        in charge, or its hard deadline would silently degrade to a soft
+        one.  jobs=1 stays in-process by contract (solvers registered
+        only in this process), so its timeouts remain soft.  A single
+        pending task without any deadline in play also runs in-process:
+        spinning up a pool for it would cost more than the solve.
         """
-        if self.jobs > 1 and any(t.timeout is not None for t in pending):
-            executed = self._run_watchdog(pending)
-        elif self.jobs == 1 or len(pending) == 1:
-            executed = [execute_task(t) for t in pending]
-        else:
-            executed = self._run_parallel(pending)
-        if len(executed) != len(pending):
-            raise RuntimeError(
-                f"execution strategy returned {len(executed)} results "
-                f"for {len(pending)} tasks; results would be misaligned"
-            )
-        return executed
+        if self.jobs > 1 and any(t.timeout is not None for t in tasks):
+            return self._stream_watchdog
+        if self.jobs == 1 or len(work) <= 1:
+            return self._stream_serial
+        return self._stream_parallel
 
     @staticmethod
     def _sealed(
@@ -260,47 +370,188 @@ class BatchRunner:
         ]
 
     # ------------------------------------------------------------------
+    # Serial strategy (jobs=1, or a single pending task)
+    # ------------------------------------------------------------------
+    def _stream_serial(
+        self, work: Deque[tuple[int, Task]]
+    ) -> Iterator[tuple[int, TaskResult]]:
+        while work:
+            pos, task = work.popleft()
+            yield pos, execute_task(task)
+
+    # ------------------------------------------------------------------
+    # Plain process pool (parallel, no deadlines)
+    # ------------------------------------------------------------------
+    def _stream_parallel(
+        self, work: Deque[tuple[int, Task]]
+    ) -> Iterator[tuple[int, TaskResult]]:
+        """Fan tasks out to the persistent pool, yielding completions.
+
+        A worker killed out-of-band (OOM killer, segfault) breaks the
+        whole executor: every outstanding future raises
+        ``BrokenProcessPool``.  Each such future becomes a positioned
+        failure result, the dead pool is discarded, and tasks still in
+        ``work`` continue on a lazily-rebuilt replacement — the batch
+        survives the crash.
+        """
+        futures: dict = {}
+        requeued: set[int] = set()
+        try:
+            while work or futures:
+                while work and len(futures) < self.jobs:
+                    pos, task = work.popleft()
+                    futures[self._submit(task)] = (pos, task)
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    pos, task = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except (CancelledError, Exception) as exc:
+                        # e.g. BrokenProcessPool, or CancelledError (a
+                        # BaseException) when another stream's rebuild or
+                        # close() cancelled our queued futures on the
+                        # shared pool.  execute_task captures solver
+                        # errors into the record, so an exception here is
+                        # pool infrastructure failing.
+                        if future.cancelled() and pos not in requeued:
+                            # The task never ran — a neighbour stream's
+                            # crash cancelled it on the shared pool.  One
+                            # resubmission on the rebuilt pool, not a
+                            # spurious failure in this stream's results.
+                            requeued.add(pos)
+                            work.append((pos, task))
+                            continue
+                        result = failure_result(
+                            task,
+                            "worker pool broke under this task "
+                            f"({type(exc).__name__}: {exc})",
+                            0.0,
+                        )
+                        self._discard_executor(cancel=False)
+                    yield pos, result
+        except GeneratorExit:
+            # Abandoned stream (e.g. a disconnected client): drop queued
+            # tasks; the pool itself stays warm for the next call.
+            for future in futures:
+                future.cancel()
+            raise
+        except KeyboardInterrupt:
+            # shutdown(wait=False) would let in-flight tasks run to
+            # completion, leaving workers grinding long after Ctrl-C —
+            # kill them outright so nothing is orphaned.
+            for future in futures:
+                future.cancel()
+            self._kill_executor()
+            raise
+
+    def _submit(self, task: Task):
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            try:
+                return self._executor.submit(execute_task, task)
+            except Exception:
+                # The shared pool broke between completions (another
+                # thread's future may already have reported it); rebuild
+                # once and resubmit.
+                executor, self._executor = self._executor, None
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+                return self._executor.submit(execute_task, task)
+
+    def _discard_executor(self, *, cancel: bool) -> None:
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=cancel)
+
+    def _kill_executor(self) -> None:
+        """Terminate pool worker processes outright (Ctrl-C path)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            processes = list(getattr(executor, "_processes", {}).values())
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=1.0)
+
+    # ------------------------------------------------------------------
     # Watchdog pool (used whenever any pending task carries a timeout)
     # ------------------------------------------------------------------
-    def _run_watchdog(self, pending: Sequence[Task]) -> list[TaskResult]:
-        """Run tasks on dedicated workers, killing any that overrun.
+    def _stream_watchdog(
+        self, work: Deque[tuple[int, Task]]
+    ) -> Iterator[tuple[int, TaskResult]]:
+        """Run tasks on leased dedicated workers, killing any that overrun.
 
         Each worker owns one pipe and one task at a time, so the parent
         always knows which task a worker holds and since when.  On
         overrun (or worker death) the task gets a failure result, the
         process is terminated, and a replacement worker is spawned.
+
+        Workers are leased from the runner-wide pool (capacity
+        ``jobs``), so concurrent streams share capacity instead of
+        over-spawning; idle workers are returned as soon as this stream
+        has no queued work left for them.
         """
         ctx = mp.get_context()
-        results: list[TaskResult | None] = [None] * len(pending)
-        queue: list[tuple[int, Task]] = list(enumerate(pending))
-        queue.reverse()  # pop() from the tail keeps task order
-        workers: list[_WatchdogWorker] = [
-            _WatchdogWorker.spawn(ctx)
-            for _ in range(min(self.jobs, len(pending)))
-        ]
-        done = 0
+        held: list[_WatchdogWorker] = []
         try:
-            while done < len(pending):
-                for i, worker in enumerate(workers):
-                    if worker.task is not None or not queue:
-                        continue
-                    pos, task = queue.pop()
-                    try:
-                        worker.dispatch(pos, task, self.watchdog_grace)
-                    except (BrokenPipeError, OSError):
-                        # Worker died while idle: one fresh worker gets
-                        # one retry, then the task is marked failed.
-                        workers[i] = worker = worker.replace(ctx)
+            while True:
+                busy = [w for w in held if w.task is not None]
+                if not work and not busy:
+                    break
+                if len(held) > 1 and self._wd_waiters > 0:
+                    # Fairness: another stream is blocked for a worker
+                    # while this one holds several — shed one idle
+                    # worker per round so a concurrent deadlined /solve
+                    # is not pinned behind this whole batch.
+                    idle = next(
+                        (w for w in held if w.task is None), None
+                    )
+                    if idle is not None:
+                        held.remove(idle)
+                        self._wd_release([idle])
+                if work:
+                    need = min(self.jobs, len(busy) + len(work)) - len(held)
+                    # Never grow while other streams are starved (we
+                    # would snatch back the worker just shed to them);
+                    # an empty-handed stream still block-acquires its
+                    # one guaranteed worker.
+                    if need > 0 and (not held or self._wd_waiters == 0):
+                        held.extend(
+                            self._wd_acquire(need, block=not held)
+                        )
+                    for i, worker in enumerate(held):
+                        if worker.task is not None or not work:
+                            continue
+                        pos, task = work.popleft()
                         try:
                             worker.dispatch(pos, task, self.watchdog_grace)
                         except (BrokenPipeError, OSError):
-                            results[pos] = failure_result(
-                                task, "could not dispatch to worker", 0.0
-                            )
-                            done += 1
-                busy = [w for w in workers if w.task is not None]
+                            # Worker died while idle: one fresh worker
+                            # gets one retry, then the task is failed.
+                            held[i] = worker = worker.replace(ctx)
+                            try:
+                                worker.dispatch(
+                                    pos, task, self.watchdog_grace
+                                )
+                            except (BrokenPipeError, OSError):
+                                yield pos, failure_result(
+                                    task, "could not dispatch to worker", 0.0
+                                )
+                    busy = [w for w in held if w.task is not None]
+                if not work:
+                    # Tail of the stream: hand surplus idle workers back
+                    # so a concurrent stream is not starved while we
+                    # wait on our last in-flight tasks.
+                    idle = [w for w in held if w.task is None]
+                    if idle:
+                        held = [w for w in held if w.task is not None]
+                        self._wd_release(idle)
                 if not busy:
-                    continue  # nothing in flight; re-check done/queue
+                    continue  # nothing in flight; re-check work
                 now = time.monotonic()
                 wait_for = min(
                     (w.deadline - now for w in busy if w.deadline is not None),
@@ -311,73 +562,116 @@ class BatchRunner:
                     timeout=None if wait_for is None else max(wait_for, 0.0),
                 )
                 now = time.monotonic()
-                for worker in list(busy):
+                for worker in busy:
                     if worker.conn in ready:
                         result = worker.collect()
+                        pos = worker.pos
                         if result is None:  # worker died mid-task
                             result = failure_result(
                                 worker.task,
                                 "worker process died (killed or crashed)",
                                 now - worker.started,
                             )
-                            workers[workers.index(worker)] = worker.replace(
-                                ctx
-                            )
-                        results[worker.pos] = result
-                        worker.clear()
-                        done += 1
-                    elif worker.deadline is not None and now > worker.deadline:
-                        results[worker.pos] = failure_result(
-                            worker.task,
-                            f"timed out after {worker.task.timeout:g}s "
-                            "(worker terminated by watchdog)",
-                            now - worker.started,
-                        )
-                        done += 1
+                            held[held.index(worker)] = worker.replace(ctx)
+                        else:
+                            worker.clear()
+                        yield pos, result
+                    elif (
+                        worker.deadline is not None and now > worker.deadline
+                    ):
+                        pos, task = worker.pos, worker.task
+                        elapsed = now - worker.started
                         self.last_watchdog_kills += 1
-                        workers[workers.index(worker)] = worker.replace(ctx)
+                        held[held.index(worker)] = worker.replace(ctx)
+                        yield pos, failure_result(
+                            task,
+                            f"timed out after {task.timeout:g}s "
+                            "(worker terminated by watchdog)",
+                            elapsed,
+                        )
         finally:
-            for worker in workers:
-                worker.shutdown()
-        return self._sealed(results, pending)
+            # Busy workers hold tasks whose results nobody will collect
+            # (abandoned stream / interrupt): kill them rather than
+            # return a mid-solve worker to the shared pool.
+            for worker in held:
+                if worker.task is not None:
+                    self._wd_discard(worker)
+            self._wd_release([w for w in held if w.task is None])
 
-    # ------------------------------------------------------------------
-    def _run_parallel(self, pending: Sequence[Task]) -> list[TaskResult]:
-        """Fan pending tasks out to a process pool, preserving order."""
-        executor = ProcessPoolExecutor(max_workers=self.jobs)
-        futures: dict = {}
-        try:
-            futures = {
-                executor.submit(execute_task, task): i
-                for i, task in enumerate(pending)
-            }
-            executed: list[TaskResult | None] = [None] * len(pending)
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    executed[futures[future]] = future.result()
-        except KeyboardInterrupt:
-            for future in futures:
-                future.cancel()
-            # shutdown(wait=False) lets in-flight tasks run to completion,
-            # which can leave workers grinding long after Ctrl-C — kill
-            # them outright so nothing is orphaned.
-            processes = list(getattr(executor, "_processes", {}).values())
-            executor.shutdown(wait=False, cancel_futures=True)
-            for process in processes:
-                process.terminate()
-            for process in processes:
-                process.join(timeout=1.0)
-            raise
-        except BaseException:
-            # e.g. BrokenProcessPool from an OOM-killed worker: still
-            # release the pool before propagating.
-            executor.shutdown(wait=False, cancel_futures=True)
-            raise
-        else:
-            executor.shutdown(wait=True)
-        return self._sealed(executed, pending)
+    def _wd_acquire(
+        self, want: int, *, block: bool
+    ) -> list[_WatchdogWorker]:
+        """Lease up to ``want`` workers from the shared watchdog pool.
+
+        Reuses idle workers first, spawns new ones while the runner-wide
+        count stays under ``jobs``.  With ``block=True`` (a stream that
+        holds no worker yet) waits until at least one is available so
+        every stream is guaranteed forward progress.
+        """
+        ctx = mp.get_context()
+        acquired: list[_WatchdogWorker] = []
+        while True:
+            with self._wd_cond:
+                self._wd_open = True
+                while self._wd_idle and len(acquired) < want:
+                    acquired.append(self._wd_idle.pop())
+                reserve = max(
+                    0, min(want - len(acquired), self.jobs - self._wd_total)
+                )
+                self._wd_total += reserve
+            # Spawn outside the lock (process startup is slow) against a
+            # reserved slot count; a failed spawn must roll its unspawned
+            # reservations back or the capacity slot would leak forever —
+            # enough leaks and every acquire(block=True) deadlocks.
+            spawned = 0
+            try:
+                while spawned < reserve:
+                    acquired.append(_WatchdogWorker.spawn(ctx))
+                    spawned += 1
+            except BaseException:
+                with self._wd_cond:
+                    self._wd_total -= reserve - spawned
+                    self._wd_cond.notify_all()
+                self._wd_release(acquired)
+                raise
+            if acquired or not block:
+                return acquired
+            with self._wd_cond:
+                # Advertise that this stream is starved so current
+                # holders shed a worker at their next completion.
+                self._wd_waiters += 1
+                try:
+                    self._wd_cond.wait(timeout=0.05)
+                finally:
+                    self._wd_waiters -= 1
+
+    def _wd_release(self, workers: list[_WatchdogWorker]) -> None:
+        """Return leased workers to the idle pool.
+
+        Dead workers are dropped, and on a closed runner the workers are
+        shut down instead of re-pooled — a stream that was still
+        draining when :meth:`close` ran must not resurrect the pool.
+        """
+        if not workers:
+            return
+        shutdown: list[_WatchdogWorker] = []
+        with self._wd_cond:
+            for worker in workers:
+                if not self._wd_open or not worker.proc.is_alive():
+                    self._wd_total -= 1
+                    shutdown.append(worker)
+                else:
+                    self._wd_idle.append(worker)
+            self._wd_cond.notify_all()
+        for worker in shutdown:
+            worker.shutdown()
+
+    def _wd_discard(self, worker: _WatchdogWorker) -> None:
+        """Kill a leased worker and free its capacity slot."""
+        worker.kill()
+        with self._wd_cond:
+            self._wd_total -= 1
+            self._wd_cond.notify_all()
 
     # ------------------------------------------------------------------
     def _cache_lookup(self, task: Task) -> TaskResult | None:

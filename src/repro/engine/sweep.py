@@ -11,7 +11,7 @@ and hands back results plus the aggregate table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..instances import PROBLEM_GENERATORS, SWEEP_GENERATORS
 from ..solvers import resolve_backend
@@ -214,19 +214,32 @@ def run_sweep(
     base_seed: int = 2014,
     limit: int | None = None,
     title: str = "sweep aggregate",
+    on_result: Callable[[TaskResult], None] | None = None,
 ) -> SweepOutcome:
-    """Build the grid, run it, and aggregate — the one-call sweep API."""
+    """Build the grid, run it, and aggregate — the one-call sweep API.
+
+    Results are computed through the runner's streaming path;
+    ``on_result`` (if given) observes each result the moment it and its
+    predecessors are done, in task order — this is what backs
+    ``repro sweep --stream``'s incremental JSONL output.  The worker
+    pool is owned by this call and released before it returns.
+    """
     import time
 
     tasks = build_sweep_tasks(grids, base_seed=base_seed, limit=limit)
-    runner = BatchRunner(jobs=jobs, cache=cache)
+    results: list[TaskResult] = []
     start = time.perf_counter()
-    results = runner.run(tasks)
+    with BatchRunner(jobs=jobs, cache=cache) as runner:
+        for result in runner.run_stream(tasks):
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        cache_hits = runner.last_cache_hits
     elapsed = time.perf_counter() - start
     return SweepOutcome(
         tasks=tasks,
         results=results,
-        cache_hits=runner.last_cache_hits,
+        cache_hits=cache_hits,
         table=aggregate_table(results, title),
         errors=sum(1 for r in results if not r.ok),
         elapsed=elapsed,

@@ -24,6 +24,7 @@ task's content digest and seed so a failing instance can be regenerated
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 import traceback
@@ -214,9 +215,21 @@ def worker_loop(conn) -> None:
     :class:`TaskResult`; a ``None`` message (or a closed pipe) shuts the
     worker down.  Must stay importable at module top level so spawned
     interpreters can resolve it.
+
+    Workers are long-lived (the runner keeps them across batches), so a
+    parent that dies without running its close path must not strand
+    them: sibling processes forked later inherit this pipe's write end,
+    which keeps ``recv`` from ever seeing EOF — hence the explicit
+    orphan check (``getppid`` flips to the reaper once the parent is
+    gone) on every poll interval.
     """
+    parent = os.getppid()
     while True:
         try:
+            if not conn.poll(1.0):
+                if os.getppid() != parent:
+                    return  # orphaned: parent died without cleanup
+                continue
             task = conn.recv()
         except (EOFError, OSError):
             return

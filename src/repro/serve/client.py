@@ -9,9 +9,11 @@ only, mirroring the server.
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
 import urllib.request
+from contextlib import contextmanager
 from typing import Any, Iterable, Iterator, Mapping
 
 from ..core.jobs import Instance
@@ -22,9 +24,14 @@ __all__ = ["ServeClientError", "ServeClient", "task_request"]
 
 
 class ServeClientError(RuntimeError):
-    """An error answer from the server, carrying its HTTP status."""
+    """An error talking to the server.
 
-    def __init__(self, message: str, status: int) -> None:
+    ``status`` carries the HTTP status for error *answers*; transport
+    failures that never produced an HTTP response (connection refused,
+    DNS, socket timeout) use ``status=0``.
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
         super().__init__(message)
         self.status = status
 
@@ -77,8 +84,9 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     def _open(self, method: str, path: str, body: bytes | None = None):
+        url = self.base_url + path
         request = urllib.request.Request(
-            self.base_url + path,
+            url,
             data=body,
             method=method,
             headers={"Content-Type": "application/json"} if body else {},
@@ -92,9 +100,32 @@ class ServeClient:
             except (json.JSONDecodeError, KeyError, TypeError):
                 message = detail.strip() or exc.reason
             raise ServeClientError(message, exc.code) from None
+        except urllib.error.URLError as exc:
+            # Transport failure (connection refused, DNS, socket
+            # timeout): no HTTP response to report, so wrap the raw
+            # reason with the target so the caller knows *what* was
+            # unreachable instead of getting a bare URLError traceback.
+            raise ServeClientError(
+                f"cannot reach {url}: {exc.reason}", status=0
+            ) from None
+
+    @contextmanager
+    def _reading(self, path: str):
+        """Wrap response-body reads so mid-stream transport failures
+        (socket timeout between chunks, dropped connection, truncated
+        chunked encoding) surface as :class:`ServeClientError` too —
+        callers handle one exception type end to end."""
+        try:
+            yield
+        except (TimeoutError, OSError, http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"connection to {self.base_url + path} failed mid-read: "
+                f"{type(exc).__name__}: {exc}",
+                status=0,
+            ) from None
 
     def _get_json(self, path: str) -> dict[str, Any]:
-        with self._open("GET", path) as response:
+        with self._open("GET", path) as response, self._reading(path):
             return json.loads(response.read())
 
     # ------------------------------------------------------------------
@@ -131,7 +162,8 @@ class ServeClient:
                 meta=meta,
             )
         ).encode("utf-8")
-        with self._open("POST", "/solve", body) as response:
+        with self._open("POST", "/solve", body) as response, \
+                self._reading("/solve"):
             return TaskResult.from_record(json.loads(response.read()))
 
     def batch(
@@ -146,7 +178,8 @@ class ServeClient:
         body = "".join(
             json.dumps(dict(request)) + "\n" for request in requests
         ).encode("utf-8")
-        with self._open("POST", "/batch", body) as response:
+        with self._open("POST", "/batch", body) as response, \
+                self._reading("/batch"):
             for line in response:
                 line = line.strip()
                 if line:

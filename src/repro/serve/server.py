@@ -22,8 +22,10 @@ Endpoints
 ``POST /batch``
     A JSONL stream of task objects (one per line); answers chunked
     JSONL, one result record per line **in task order**.  Results are
-    computed in waves, so early lines arrive while later waves are
-    still solving.
+    streamed incrementally through
+    :meth:`~repro.engine.runner.BatchRunner.run_stream`: each line is
+    written the moment its result (and every earlier one) is done, so
+    one slow task never holds back finished predecessors.
 
 Validation goes through the same error-menu helpers the CLI uses
 (:func:`repro.engine.registry.backend_task_params`,
@@ -71,6 +73,13 @@ _DEFAULT_ALGORITHM = {"active": "rounding", "busy": "greedy_tracking"}
 
 #: Refuse request bodies beyond this size (64 MiB) instead of buffering.
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Give up on a ``/batch`` client that accepts no bytes for this long.
+#: The result stream is pull-driven, so a stalled reader would suspend
+#: watchdog deadline enforcement for its in-flight tasks indefinitely;
+#: treating a long write stall as a disconnect closes the stream, which
+#: kills the leased workers and frees their capacity.
+_WRITE_STALL_SECONDS = 300.0
 
 
 class RequestError(ValueError):
@@ -172,7 +181,13 @@ def parse_task_request(
         # the handler thread.
         raise RequestError(f"{at}{exc}") from None
 
-    timeout = payload.get("timeout", default_timeout)
+    # An explicit ``"timeout": null`` must NOT bypass the server-wide
+    # default: that would let a client disable the protective deadline
+    # and wedge a worker on an unbounded exact solve.  Null means "use
+    # the server default", exactly like omitting the field.
+    timeout = payload.get("timeout")
+    if timeout is None:
+        timeout = default_timeout
     if timeout is not None and (
         isinstance(timeout, bool)
         or not isinstance(timeout, (int, float))
@@ -198,10 +213,13 @@ def parse_task_request(
 class ServeApp:
     """Server-side state shared by every request: runner + cache + defaults.
 
-    One :class:`BatchRunner` (guarded by a lock — solver waves are
-    serialized, HTTP I/O stays concurrent) over one
-    :class:`ResultCache`.  A cache is always present, even memory-only:
-    it is what dedupes repeated requests server-side.
+    One *streaming* :class:`BatchRunner` over one :class:`ResultCache`.
+    There is no whole-batch lock: every handler thread submits through
+    :meth:`BatchRunner.run_stream`, which shares the runner's persistent
+    worker pools safely, so a long ``/batch`` no longer head-of-line
+    blocks concurrent ``/solve`` requests.  A cache is always present,
+    even memory-only: it is what dedupes repeated requests server-side
+    (and it is internally locked, so concurrent handlers share it).
     """
 
     def __init__(
@@ -211,23 +229,20 @@ class ServeApp:
         cache: ResultCache | None = None,
         default_backend: str | None = None,
         default_timeout: float | None = None,
-        wave_size: int | None = None,
     ) -> None:
         if default_backend is not None:
             resolve_backend(default_backend)  # typo -> menu, at startup
-        if wave_size is not None and wave_size < 1:
-            raise ValueError(f"wave_size must be >= 1, got {wave_size}")
         self.cache = cache if cache is not None else ResultCache()
         self.runner = BatchRunner(jobs=jobs, cache=self.cache)
         self.default_backend = default_backend
         self.default_timeout = default_timeout
-        #: Tasks per streaming wave on ``/batch``: small enough that the
-        #: first results reach the client early, large enough to keep a
-        #: full worker pool busy.
-        self.wave_size = wave_size or max(8, 2 * jobs)
-        self._lock = threading.Lock()
+        self._counter_lock = threading.Lock()
         self.batches_served = 0
         self.tasks_served = 0
+
+    def close(self) -> None:
+        """Release the runner's persistent worker pools."""
+        self.runner.close()
 
     # ------------------------------------------------------------------
     def algos_payload(self) -> dict[str, Any]:
@@ -268,27 +283,30 @@ class ServeApp:
     # ------------------------------------------------------------------
     def solve_one(self, task: Task) -> TaskResult:
         """Run one task through the shared runner/cache."""
-        with self._lock:
-            result = self.runner.run([task])[0]
+        result = self.runner.run([task])[0]
+        with self._counter_lock:
             self.tasks_served += 1
         return result
 
     def run_batch(self, tasks: Sequence[Task]) -> Iterator[TaskResult]:
-        """Yield results for ``tasks`` in task order, computed in waves.
+        """Yield results for ``tasks`` in task order, incrementally.
 
-        Each wave goes through :meth:`BatchRunner.run`, so in-wave
-        duplicates are solved once and every completed wave lands in the
-        shared cache — which also dedupes duplicates across waves and
-        across repeated batches.
+        Streams through :meth:`BatchRunner.run_stream`: each result is
+        yielded the moment it (and all its predecessors) is done, in-run
+        duplicates are solved once, and every result lands in the shared
+        cache — which also dedupes across repeated batches.  The batch
+        counter is committed in ``finally`` so an abandoned stream (a
+        disconnected client closing this generator) still counts and the
+        served-task tally stays consistent with what actually ran.
         """
-        for start in range(0, len(tasks), self.wave_size):
-            wave = tasks[start : start + self.wave_size]
-            with self._lock:
-                results = self.runner.run(wave)
-                self.tasks_served += len(wave)
-            yield from results
-        with self._lock:
-            self.batches_served += 1
+        try:
+            for result in self.runner.run_stream(tasks):
+                with self._counter_lock:
+                    self.tasks_served += 1
+                yield result
+        finally:
+            with self._counter_lock:
+                self.batches_served += 1
 
 
 class ReproRequestHandler(BaseHTTPRequestHandler):
@@ -380,10 +398,24 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
-        for result in self.app.run_batch(tasks):
-            line = json.dumps(result.to_record(), sort_keys=True) + "\n"
-            self._write_chunk(line.encode("utf-8"))
-        self._end_chunked()
+        # A reader that stalls outright must not pin leased workers (and
+        # suspend their deadline enforcement) forever.
+        self.connection.settimeout(_WRITE_STALL_SECONDS)
+        results = self.app.run_batch(tasks)
+        try:
+            for result in results:
+                line = json.dumps(result.to_record(), sort_keys=True) + "\n"
+                self._write_chunk(line.encode("utf-8"))
+            self._end_chunked()
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            # The client went away mid-stream (or stalled past the write
+            # budget).  Not a server error: stop solving (closing the
+            # generator cancels undispatched tasks, kills leased workers
+            # and commits the batch counters), drop the connection
+            # quietly instead of tracebacking in the handler thread.
+            self.close_connection = True
+        finally:
+            results.close()
 
     # ------------------------------------------------------------------
     # Body / response plumbing
@@ -463,6 +495,12 @@ class ReproHTTPServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    def server_close(self) -> None:
+        super().server_close()
+        # Release the app's persistent worker pools with the sockets, so
+        # short-lived servers (tests, smoke scripts) leave no processes.
+        self.app.close()
+
 
 def create_server(
     host: str = "127.0.0.1",
@@ -472,7 +510,6 @@ def create_server(
     cache: ResultCache | None = None,
     default_backend: str | None = None,
     default_timeout: float | None = None,
-    wave_size: int | None = None,
     verbose: bool = False,
 ) -> ReproHTTPServer:
     """Build a ready-to-run server (``port=0`` picks an ephemeral port)."""
@@ -481,6 +518,5 @@ def create_server(
         cache=cache,
         default_backend=default_backend,
         default_timeout=default_timeout,
-        wave_size=wave_size,
     )
     return ReproHTTPServer((host, port), app, verbose=verbose)

@@ -68,6 +68,34 @@ class TestMemoryLayer:
         assert cache.get("a") is not None
         assert cache.get("c") is not None
 
+    def test_returned_record_is_not_aliased_to_the_cache(self):
+        # Regression: get/put made only shallow copies, so the nested
+        # metrics/meta dicts were shared between the cache and callers —
+        # mutating a returned record corrupted the cached entry.
+        cache = ResultCache()
+        cache.put("k", {"ok": True, "metrics": {"lb": 2.0}, "meta": {"s": 1}})
+        first = cache.get("k")
+        first["metrics"]["lb"] = -99.0
+        first["meta"]["injected"] = True
+        again = cache.get("k")
+        assert again["metrics"] == {"lb": 2.0}
+        assert again["meta"] == {"s": 1}
+
+    def test_record_passed_to_put_is_not_aliased_either(self):
+        record = {"ok": True, "metrics": {"lb": 2.0}}
+        cache = ResultCache()
+        cache.put("k", record)
+        record["metrics"]["lb"] = -99.0  # caller reuses its dict
+        assert cache.get("k")["metrics"] == {"lb": 2.0}
+
+    def test_disk_roundtrip_is_not_aliased(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", {"ok": True, "metrics": {"lb": 2.0}})
+        cache.clear()  # force the next get through the disk layer
+        first = cache.get("k")
+        first["metrics"]["lb"] = -99.0
+        assert cache.get("k")["metrics"] == {"lb": 2.0}
+
     def test_returned_record_is_a_copy(self):
         cache = ResultCache()
         cache.put("k", {"v": 1})

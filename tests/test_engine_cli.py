@@ -86,6 +86,24 @@ class TestSweepCommand:
         assert "task " in captured.err
         assert rc == 1
 
+    def test_stream_prints_pure_jsonl_on_stdout(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "sweep", "--limit", "3", "--no-cache", "--stream",
+            "--out", "r.jsonl",
+        ]) == 0
+        captured = capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.strip()
+        ]
+        assert [r["index"] for r in records] == [0, 1, 2]
+        # the report (table + summary) moved to stderr
+        assert "tasks: 3" in captured.err
+        assert "sweep aggregate" in captured.err
+
     def test_inprocess_filters(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
         assert main([
@@ -135,6 +153,24 @@ class TestBatchCommand:
         out = capsys.readouterr().out
         assert f"{work}#0" in out
         assert f"{work}#1" in out
+
+    def test_stream_prints_pure_jsonl_on_stdout(
+        self, tmp_path, capsys, monkeypatch, files
+    ):
+        a, b = files
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "batch", str(a), str(b), "--problem", "busy", "--g", "2",
+            "--no-cache", "--stream", "--out", "batch.jsonl",
+        ]) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.splitlines() if l.strip()]
+        records = [json.loads(line) for line in lines]  # stdout: JSONL only
+        assert [r["index"] for r in records] == [0, 1]
+        assert all(r["ok"] for r in records)
+        # human-facing report moved to stderr, and --out still written
+        assert "batch aggregate" in captured.err
+        assert (tmp_path / "batch.jsonl").read_text().splitlines() == lines
 
     def test_inprocess_failure_exit_code(self, tmp_path, capsys, monkeypatch):
         from repro.core import Instance

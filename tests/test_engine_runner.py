@@ -97,7 +97,8 @@ class TestBatchRunner:
             for i, t in enumerate(tasks)
         ]
         serial = BatchRunner(jobs=1).run(tasks)
-        parallel = BatchRunner(jobs=2).run(tasks)
+        with BatchRunner(jobs=2) as runner:
+            parallel = runner.run(tasks)
         strip = lambda r: {**r.to_record(), "elapsed": 0.0}
         assert [strip(r) for r in serial] == [strip(r) for r in parallel]
         assert [r.index for r in parallel] == list(range(len(tasks)))
@@ -164,24 +165,51 @@ class TestBatchRunner:
 
 
 class TestExecuteLengthInvariant:
-    """_execute must return exactly one result per pending task.
+    """The stream must carry exactly one result per pending task.
 
     Regression: the execution strategies used to end with
     ``[r for r in results if r is not None]`` — a dropped slot silently
     shifted every later result onto the wrong task when ``run`` zipped
-    them against positions.
+    them against positions.  Completion events are now position-tagged,
+    so a lost event becomes a positioned failure and a duplicated event
+    is a hard error — never a silent shift.
     """
 
-    def test_strategy_dropping_a_result_is_an_error(
+    def test_strategy_dropping_an_event_seals_a_positioned_failure(
         self, small_instances, monkeypatch
     ):
-        runner = BatchRunner(jobs=2)
-        real = runner._run_parallel
-        monkeypatch.setattr(
-            runner, "_run_parallel", lambda pending: real(pending)[:-1]
-        )
-        with pytest.raises(RuntimeError, match="misaligned"):
-            runner.run(_tasks(small_instances))
+        with BatchRunner(jobs=2) as runner:
+            real = runner._stream_parallel
+
+            def dropping(work):
+                events = list(real(work))
+                yield from events[:-1]
+
+            monkeypatch.setattr(runner, "_stream_parallel", dropping)
+            tasks = _tasks(small_instances)
+            results = runner.run(tasks)
+        assert len(results) == len(tasks)
+        bad = [r for r in results if not r.ok]
+        assert len(bad) == 1
+        assert "no result" in bad[0].error
+        # the failure sits at its own position: digests still line up
+        for task, result in zip(tasks, results):
+            assert result.digest == task.digest
+
+    def test_strategy_repeating_an_event_is_an_error(
+        self, small_instances, monkeypatch
+    ):
+        with BatchRunner(jobs=2) as runner:
+            real = runner._stream_parallel
+
+            def repeating(work):
+                events = list(real(work))
+                yield from events
+                yield events[0]
+
+            monkeypatch.setattr(runner, "_stream_parallel", repeating)
+            with pytest.raises(RuntimeError, match="misaligned"):
+                runner.run(_tasks(small_instances))
 
     def test_sealed_fills_gaps_with_positioned_failures(
         self, small_instances
@@ -200,7 +228,8 @@ class TestExecuteLengthInvariant:
         # All-success path through the watchdog pool: exact length, no
         # filtering, deterministic order.
         tasks = _tasks(small_instances, timeout=30.0)
-        results = BatchRunner(jobs=2).run(tasks)
+        with BatchRunner(jobs=2) as runner:
+            results = runner.run(tasks)
         assert [r.index for r in results] == [0, 1, 2]
         assert all(r.ok for r in results)
 
@@ -280,10 +309,10 @@ class TestWatchdog:
             )
             for i, inst in enumerate(small_instances)
         ]
-        runner = BatchRunner(jobs=2, watchdog_grace=0.2)
-        start = time.perf_counter()
-        results = runner.run(tasks)
-        elapsed = time.perf_counter() - start
+        with BatchRunner(jobs=2, watchdog_grace=0.2) as runner:
+            start = time.perf_counter()
+            results = runner.run(tasks)
+            elapsed = time.perf_counter() - start
         assert [r.ok for r in results] == [False, True, False]
         assert "watchdog" in results[0].error
         assert "timed out" in results[2].error
@@ -305,8 +334,8 @@ class TestWatchdog:
             )
             for i, inst in enumerate(small_instances[:2])
         ]
-        runner = BatchRunner(jobs=2, cache=cache, watchdog_grace=0.1)
-        runner.run(tasks)
+        with BatchRunner(jobs=2, cache=cache, watchdog_grace=0.1) as runner:
+            runner.run(tasks)
         assert cache.disk_usage() == (0, 0)
 
     def test_failed_duplicate_retry_keeps_watchdog(
@@ -321,10 +350,10 @@ class TestWatchdog:
                       g=2, instance=inst, timeout=0.3)
             for i in range(2)
         ]
-        runner = BatchRunner(jobs=2, watchdog_grace=0.2)
-        start = time.perf_counter()
-        results = runner.run(tasks)
-        elapsed = time.perf_counter() - start
+        with BatchRunner(jobs=2, watchdog_grace=0.2) as runner:
+            start = time.perf_counter()
+            results = runner.run(tasks)
+            elapsed = time.perf_counter() - start
         assert [r.ok for r in results] == [False, False]
         assert all("watchdog" in r.error for r in results)
         assert elapsed < 15.0
@@ -346,8 +375,8 @@ class TestWatchdog:
             )
             for i, inst in enumerate(small_instances)
         ]
-        runner = BatchRunner(jobs=2)
-        results = runner.run(tasks)
+        with BatchRunner(jobs=2) as runner:
+            results = runner.run(tasks)
         assert len(results) == len(tasks)
         assert [r.ok for r in results] == [False, True, False]
         assert [r.index for r in results] == [0, 1, 2]
@@ -370,7 +399,8 @@ class TestWatchdog:
                       g=2, instance=inst, timeout=20.0)
             for i in range(2)
         ]
-        results = BatchRunner(jobs=2).run(tasks)
+        with BatchRunner(jobs=2) as runner:
+            results = runner.run(tasks)
         assert [r.ok for r in results] == [False, False]
         assert [r.index for r in results] == [0, 1]
         assert all("died" in r.error for r in results)
@@ -379,8 +409,8 @@ class TestWatchdog:
         # A sleeping (not wedged) solver is interrupted by SIGALRM inside
         # the grace window, so the watchdog never has to kill anything.
         tasks = _tasks(small_instances[:2], timeout=30.0)
-        runner = BatchRunner(jobs=2)
-        results = runner.run(tasks)
+        with BatchRunner(jobs=2) as runner:
+            results = runner.run(tasks)
         assert all(r.ok for r in results)
         assert runner.last_watchdog_kills == 0
 

@@ -1,0 +1,384 @@
+"""Tests for `BatchRunner.run_stream` and the persistent worker pools.
+
+Covers the streaming contract (task-order yields, incremental arrival,
+parity with ``run``), pool persistence across calls, and the
+broken-process-pool recovery path.
+"""
+
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import Instance
+from repro.engine import BatchRunner, ResultCache, make_task
+from repro.engine.registry import REGISTRY, SolveOutcome, SolverSpec
+
+_FORK_ONLY = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="test registers a solver that only fork-children inherit",
+)
+
+
+def _tasks(instances, problem="active", algorithm="minimal", g=2, **kw):
+    return [
+        make_task(
+            index=i, problem=problem, algorithm=algorithm, g=g,
+            instance=inst, **kw
+        )
+        for i, inst in enumerate(instances)
+    ]
+
+
+@pytest.fixture
+def small_instances():
+    return [
+        Instance.from_tuples([(0, 4, 2), (1, 5, 3)]),
+        Instance.from_tuples([(0, 3, 1), (2, 6, 2), (1, 4, 2)]),
+        Instance.from_tuples([(0, 2, 1)]),
+        Instance.from_tuples([(0, 6, 2), (2, 7, 3)]),
+    ]
+
+
+def _register_temp_solver(name, fn, description="test-only"):
+    if ("active", name) not in REGISTRY:
+        REGISTRY.register(
+            SolverSpec(
+                problem="active",
+                name=name,
+                solve=fn,
+                exact=False,
+                guarantee="-",
+                complexity="-",
+                description=description,
+            )
+        )
+    yield name
+    REGISTRY._specs.pop(("active", name), None)
+
+
+def _sleepy_solver(instance, g, **params):
+    time.sleep(0.8)
+    return SolveOutcome(objective=float(g))
+
+
+def _dying_solver(instance, g, **params):
+    os._exit(13)
+
+
+@pytest.fixture
+def sleepy_solver():
+    yield from _register_temp_solver("sleepy-stream-test", _sleepy_solver)
+
+
+@pytest.fixture
+def dying_solver():
+    yield from _register_temp_solver("dying-stream-test", _dying_solver)
+
+
+def _strip(result):
+    return {**result.to_record(), "elapsed": 0.0}
+
+
+class TestStreamParity:
+    """run_stream must return byte-identical records to run (mod timings)."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_stream_matches_run_with_dups_and_failures(
+        self, small_instances, jobs
+    ):
+        infeasible = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        tasks = _tasks(
+            small_instances + [small_instances[0]]  # dup digest of task 0
+        ) + [
+            # two infeasible copies at g=1: both fail, and the failed
+            # duplicate must be retried rather than reused
+            make_task(index=i, problem="active", algorithm="minimal", g=1,
+                      instance=infeasible)
+            for i in (5, 6)
+        ]
+        with BatchRunner(jobs=jobs) as runner:
+            ran = runner.run(tasks)
+        with BatchRunner(jobs=jobs) as runner:
+            streamed = list(runner.run_stream(tasks))
+        assert [_strip(r) for r in streamed] == [_strip(r) for r in ran]
+        assert [r.index for r in streamed] == list(range(len(tasks)))
+        assert streamed[4].cached  # duplicate reused
+        assert not streamed[5].ok and not streamed[6].ok
+        assert not streamed[6].cached  # failed dup retried, not reused
+
+    def test_stream_counters_match_run(self, small_instances, tmp_path):
+        tasks = _tasks(small_instances)
+        cache = ResultCache(directory=tmp_path)
+        with BatchRunner(jobs=1, cache=cache) as warm:
+            warm.run(tasks)
+        with BatchRunner(jobs=1, cache=ResultCache(directory=tmp_path)) as r:
+            streamed = list(r.run_stream(tasks))
+            assert r.last_cache_hits == len(tasks)
+        assert all(res.cached for res in streamed)
+
+    def test_cache_hits_stream_before_execution(self, small_instances):
+        # A head-of-list cache hit must be yielded by the very first
+        # next(), before any pending solve completes.
+        tasks = _tasks(small_instances)
+        cache = ResultCache()
+        with BatchRunner(jobs=1, cache=cache) as warm:
+            warm.run(tasks[:1])
+        with BatchRunner(jobs=1, cache=cache) as runner:
+            stream = runner.run_stream(tasks)
+            first = next(stream)
+            assert first.cached and first.index == 0
+            rest = list(stream)
+        assert [r.index for r in rest] == [1, 2, 3]
+
+    def test_empty_task_list(self):
+        with BatchRunner(jobs=1) as runner:
+            assert list(runner.run_stream([])) == []
+
+
+@_FORK_ONLY
+class TestIncrementalArrival:
+    def test_first_result_arrives_before_slow_task_finishes(
+        self, sleepy_solver, small_instances
+    ):
+        # Slow task last: its 0.8s sleep must not delay the fast
+        # results' yields.
+        tasks = _tasks(small_instances[:2]) + [
+            make_task(index=2, problem="active", algorithm=sleepy_solver,
+                      g=2, instance=small_instances[2])
+        ]
+        with BatchRunner(jobs=3) as runner:
+            start = time.perf_counter()
+            arrivals = [
+                (r.index, time.perf_counter() - start)
+                for r in runner.run_stream(tasks)
+            ]
+        assert [i for i, _ in arrivals] == [0, 1, 2]
+        assert arrivals[0][1] < 0.6, arrivals
+        assert arrivals[-1][1] >= 0.7, arrivals
+
+    def test_slow_head_buffers_but_still_completes_in_order(
+        self, sleepy_solver, small_instances
+    ):
+        # Slow task first: order preservation holds everything until it
+        # lands, then the buffered results flush immediately.
+        tasks = [
+            make_task(index=0, problem="active", algorithm=sleepy_solver,
+                      g=2, instance=small_instances[0])
+        ] + [
+            make_task(index=i, problem="active", algorithm="minimal", g=2,
+                      instance=inst)
+            for i, inst in enumerate(small_instances[1:3], start=1)
+        ]
+        with BatchRunner(jobs=3) as runner:
+            start = time.perf_counter()
+            arrivals = [
+                (r.index, time.perf_counter() - start)
+                for r in runner.run_stream(tasks)
+            ]
+        assert [i for i, _ in arrivals] == [0, 1, 2]
+        assert arrivals[0][1] >= 0.7
+        # the buffered fast results flush right behind the slow head
+        assert arrivals[-1][1] - arrivals[0][1] < 0.5
+
+    def test_abandoned_stream_leaves_runner_usable(
+        self, sleepy_solver, small_instances
+    ):
+        tasks = _tasks(small_instances[:2]) + [
+            make_task(index=2, problem="active", algorithm=sleepy_solver,
+                      g=2, instance=small_instances[2])
+        ]
+        with BatchRunner(jobs=2) as runner:
+            stream = runner.run_stream(tasks)
+            assert next(stream).index == 0
+            stream.close()  # client went away mid-batch
+            results = runner.run(_tasks(small_instances[3:]))
+        assert all(r.ok for r in results)
+
+
+class TestStrategyAndCancellation:
+    def test_deadlined_duplicate_retry_keeps_the_watchdog(self):
+        # timeout is not part of the content digest, so a batch can pair
+        # an undeadlined first occurrence with a deadlined duplicate.
+        # The duplicate's failure retry joins the queue mid-stream; the
+        # strategy choice must see its deadline up front and run the
+        # whole stream under the watchdog, not the plain pool — else the
+        # retry's hard timeout silently degrades to a soft one.
+        bad = Instance.from_tuples([(0, 1, 1), (0, 1, 1)])
+        first = make_task(index=0, problem="active", algorithm="minimal",
+                          g=1, instance=bad)
+        dup = make_task(index=1, problem="active", algorithm="minimal",
+                        g=1, instance=bad, timeout=30.0)
+        assert first.digest == dup.digest and first.timeout is None
+        with BatchRunner(jobs=2) as runner:
+            results = runner.run([first, dup])
+            assert runner._wd_total >= 1  # the watchdog pool was used
+            assert runner._executor is None  # the plain pool was not
+        assert [r.ok for r in results] == [False, False]
+
+    def test_cancelled_futures_become_positioned_failures(
+        self, small_instances, monkeypatch
+    ):
+        # CancelledError is a BaseException: when another stream's pool
+        # rebuild (or close()) cancels this stream's queued futures on
+        # the shared executor, each must surface as a positioned failure
+        # record, not escape and kill the stream mid-batch.
+        from concurrent.futures import Future
+
+        def cancelled_submit(task):
+            future = Future()
+            future.cancel()
+            # what a real executor does when it drains a cancelled work
+            # item: notify waiters, so wait() reports the future done
+            future.set_running_or_notify_cancel()
+            return future
+
+        with BatchRunner(jobs=2) as runner:
+            monkeypatch.setattr(runner, "_submit", cancelled_submit)
+            results = runner.run(_tasks(small_instances[:3]))
+        assert [r.ok for r in results] == [False, False, False]
+        assert all("pool broke" in r.error for r in results)
+        assert [r.index for r in results] == [0, 1, 2]
+
+
+@_FORK_ONLY
+class TestWatchdogLeasing:
+    def test_starved_stream_is_fed_a_worker_mid_batch(
+        self, sleepy_solver, small_instances
+    ):
+        # Stream A (a long deadlined batch) initially leases every
+        # watchdog worker; stream B (one deadlined task) must be fed a
+        # worker after roughly one task completion, not after A's whole
+        # queue drains — i.e. B finishes while A is still running.
+        runner = BatchRunner(jobs=2)
+        a_tasks = [
+            make_task(index=i, problem="active", algorithm=sleepy_solver,
+                      g=2, instance=small_instances[i % 4], timeout=30.0,
+                      meta={"copy": i})
+            for i in range(6)
+        ]
+        b_task = make_task(index=0, problem="active", algorithm=sleepy_solver,
+                           g=3, instance=small_instances[0], timeout=30.0)
+        finished = {}
+
+        def consume(label, tasks):
+            results = runner.run(tasks)
+            finished[label] = time.monotonic()
+            assert all(r.ok for r in results)
+
+        try:
+            thread_a = threading.Thread(target=consume, args=("a", a_tasks))
+            thread_a.start()
+            time.sleep(0.2)  # A now holds both workers
+            thread_b = threading.Thread(target=consume, args=("b", [b_task]))
+            thread_b.start()
+            thread_b.join(timeout=30)
+            thread_a.join(timeout=30)
+        finally:
+            runner.close()
+        assert finished["b"] < finished["a"], finished
+
+    def test_close_during_inflight_stream_leaves_no_workers(
+        self, sleepy_solver, small_instances
+    ):
+        # close() while a stream still holds leased workers: the
+        # stream's eventual release must shut them down, not re-pool
+        # them on the closed runner.
+        runner = BatchRunner(jobs=2)
+        tasks = [
+            make_task(index=i, problem="active", algorithm=sleepy_solver,
+                      g=2, instance=small_instances[i % 4], timeout=30.0,
+                      meta={"copy": i})
+            for i in range(3)
+        ]
+        done = threading.Event()
+
+        def consume():
+            runner.run(tasks)
+            done.set()
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.2)  # stream is mid-solve, workers leased
+        runner.close()
+        assert done.wait(timeout=30)
+        thread.join(timeout=5)
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and runner._wd_total:
+            time.sleep(0.05)
+        assert runner._wd_total == 0 and runner._wd_idle == []
+
+
+class TestPersistentPools:
+    def test_executor_survives_across_calls(self, small_instances):
+        with BatchRunner(jobs=2) as runner:
+            runner.run(_tasks(small_instances))
+            first_pool = runner._executor
+            assert first_pool is not None
+            first_pids = set(first_pool._processes)
+            runner.run(_tasks(small_instances, g=3))
+            assert runner._executor is first_pool
+            assert set(runner._executor._processes) == first_pids
+        assert runner._executor is None  # released by the context manager
+
+    def test_watchdog_workers_survive_across_calls(self, small_instances):
+        with BatchRunner(jobs=2) as runner:
+            runner.run(_tasks(small_instances, timeout=30.0))
+            pids = sorted(w.proc.pid for w in runner._wd_idle)
+            assert pids and runner._wd_total == len(pids) <= 2
+            runner.run(_tasks(small_instances, g=3, timeout=30.0))
+            assert sorted(w.proc.pid for w in runner._wd_idle) == pids
+        assert runner._wd_total == 0 and runner._wd_idle == []
+
+    def test_close_then_reuse_rebuilds_lazily(self, small_instances):
+        runner = BatchRunner(jobs=2)
+        try:
+            assert all(r.ok for r in runner.run(_tasks(small_instances)))
+            runner.close()
+            assert runner._executor is None
+            assert all(r.ok for r in runner.run(_tasks(small_instances)))
+        finally:
+            runner.close()
+
+
+@_FORK_ONLY
+class TestBrokenPool:
+    def test_broken_pool_fails_in_place_and_batch_survives(
+        self, dying_solver, small_instances
+    ):
+        # Task 0 OOM-kills its worker, which breaks the whole
+        # ProcessPoolExecutor.  Regression: future.result() used to
+        # propagate BrokenProcessPool and abort the batch; now every
+        # broken future becomes a positioned failure and the remaining
+        # tasks run on a rebuilt pool.
+        instances = small_instances * 2
+        tasks = [
+            make_task(
+                index=i,
+                problem="active",
+                algorithm=dying_solver if i == 0 else "minimal",
+                g=2,
+                instance=inst,
+            )
+            for i, inst in enumerate(instances)
+        ]
+        with BatchRunner(jobs=2) as runner:
+            results = runner.run(tasks)
+            assert len(results) == len(tasks)
+            assert [r.index for r in results] == list(range(len(tasks)))
+            assert not results[0].ok
+            assert "pool broke" in results[0].error
+            assert results[0].digest == tasks[0].digest
+            # the pool break can take at most the one in-flight
+            # neighbour down with it (which one is a scheduling race);
+            # everything still queued runs on the fresh pool.
+            bad = [r for r in results if not r.ok]
+            assert 1 <= len(bad) <= 2, [r.error for r in bad]
+            assert all("pool broke" in r.error for r in bad)
+            # the runner stays usable: next call gets a healthy pool
+            again = runner.run(
+                _tasks(small_instances, g=3)
+            )
+            assert all(r.ok for r in again)

@@ -1,17 +1,22 @@
 """Tests for the HTTP/JSONL serving front end (repro.serve).
 
 A real ThreadingHTTPServer is started on an ephemeral port and driven
-through the urllib client plus raw HTTP where headers matter.
+through the urllib client plus raw HTTP where headers matter.  The
+server runs in-process, so tests can temporarily register slow solvers
+to pin down streaming/concurrency behavior deterministically.
 """
 
 import http.client
 import json
+import socket
 import threading
+import time
 
 import pytest
 
 from repro.core import Instance
 from repro.engine import REGISTRY, ResultCache
+from repro.engine.registry import SolveOutcome, SolverSpec
 from repro.serve import (
     RequestError,
     ServeClient,
@@ -21,6 +26,33 @@ from repro.serve import (
     task_request,
 )
 
+#: Sleep used by the test-only slow solver; latency assertions key off it.
+_SLOW_SECONDS = 0.8
+
+
+def _slow_solver(instance, g, **params):
+    time.sleep(_SLOW_SECONDS)
+    return SolveOutcome(objective=float(g))
+
+
+@pytest.fixture
+def slow_solver():
+    name = "slow-serve-test"
+    if ("active", name) not in REGISTRY:
+        REGISTRY.register(
+            SolverSpec(
+                problem="active",
+                name=name,
+                solve=_slow_solver,
+                exact=False,
+                guarantee="-",
+                complexity="-",
+                description="sleeps then answers (test only)",
+            )
+        )
+    yield name
+    REGISTRY._specs.pop(("active", name), None)
+
 
 @pytest.fixture(scope="module")
 def server(tmp_path_factory):
@@ -29,7 +61,6 @@ def server(tmp_path_factory):
         port=0,
         jobs=1,
         cache=ResultCache(directory=cache_dir),
-        wave_size=2,  # force multi-wave streaming on small batches
     )
     thread = threading.Thread(target=srv.serve_forever, daemon=True)
     thread.start()
@@ -242,6 +273,136 @@ class TestBatchEndpoint:
         assert list(client.batch([])) == []
 
 
+class TestIncrementalStreaming:
+    """Per-result streaming on /batch and the no-lock concurrency model."""
+
+    def _stream_raw(self, server, requests):
+        """POST a batch and return ``(index, seconds_since_post)`` lines."""
+        body = "".join(json.dumps(r) + "\n" for r in requests).encode()
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        arrivals = []
+        try:
+            start = time.perf_counter()
+            conn.request(
+                "POST", "/batch", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                if line.strip():
+                    record = json.loads(line)
+                    arrivals.append(
+                        (record["index"], time.perf_counter() - start)
+                    )
+        finally:
+            conn.close()
+        return arrivals
+
+    def test_first_line_arrives_before_slow_task_finishes(
+        self, server, slow_solver
+    ):
+        # One slow task at the tail must not hold back finished
+        # predecessors: under the old per-wave streaming all three
+        # results landed in one wave, after the slow solve.
+        fresh = Instance.from_tuples([(0, 5, 2), (1, 6, 3), (2, 7, 1)])
+        other = Instance.from_tuples([(0, 4, 1), (3, 8, 2)])
+        arrivals = self._stream_raw(server, [
+            task_request(fresh, "active", 2, algorithm="minimal"),
+            task_request(other, "active", 2, algorithm="minimal"),
+            task_request(fresh, "active", 2, algorithm=slow_solver),
+        ])
+        assert [i for i, _ in arrivals] == [0, 1, 2]
+        assert arrivals[0][1] < _SLOW_SECONDS * 0.75, arrivals
+        assert arrivals[-1][1] >= _SLOW_SECONDS * 0.9, arrivals
+
+    def test_solve_is_not_blocked_behind_a_long_batch(
+        self, server, client, slow_solver, inst
+    ):
+        # Regression for the whole-wave lock: a /solve issued while a
+        # long /batch is mid-solve used to queue behind the entire wave.
+        slow_inst = Instance.from_tuples([(0, 9, 3), (1, 7, 2)])
+        batch_results = []
+        thread = threading.Thread(
+            target=lambda: batch_results.extend(
+                client.batch(
+                    [task_request(slow_inst, "active", 2,
+                                  algorithm=slow_solver)]
+                )
+            )
+        )
+        thread.start()
+        try:
+            time.sleep(0.15)  # batch is now mid-solve
+            start = time.perf_counter()
+            result = client.solve(inst, "active", 2, algorithm="minimal")
+            elapsed = time.perf_counter() - start
+        finally:
+            thread.join()
+        assert result.ok
+        assert elapsed < _SLOW_SECONDS / 2, elapsed
+        assert len(batch_results) == 1 and batch_results[0].ok
+
+    def test_disconnect_mid_batch_keeps_counters_and_server_healthy(
+        self, server, client, slow_solver, inst
+    ):
+        # Regression: a BrokenPipeError from _write_chunk escaped the
+        # handler as a traceback and left batches_served permanently
+        # short of the batches actually started.
+        before = client.health()
+        fast = Instance.from_tuples([(0, 6, 1), (2, 8, 2), (1, 5, 2)])
+        requests = [
+            task_request(fast, "active", 3, algorithm="minimal"),
+            task_request(fast, "active", 2, algorithm=slow_solver),
+            task_request(fast, "active", 3, algorithm="minimal"),
+        ]
+        body = "".join(json.dumps(r) + "\n" for r in requests).encode()
+        host, port = server.server_address[:2]
+        sock = socket.create_connection((host, port), timeout=30)
+        try:
+            sock.sendall(
+                b"POST /batch HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            buf = b""
+            while b'"ok"' not in buf:  # first result line has arrived
+                buf += sock.recv(4096)
+        finally:
+            # hang up while the slow task is still solving
+            sock.close()
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            health = client.health()
+            if health["batches_served"] > before["batches_served"]:
+                break
+            time.sleep(0.05)
+        assert health["batches_served"] == before["batches_served"] + 1
+        # only results actually yielded were counted, never the full list
+        served = health["tasks_served"] - before["tasks_served"]
+        assert 1 <= served <= len(requests)
+        # and the server keeps serving
+        assert client.solve(inst, "active", 2, algorithm="minimal").ok
+
+
+class TestClientTransportErrors:
+    def test_connection_refused_is_wrapped_with_target_url(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        client = ServeClient(f"http://127.0.0.1:{port}", http_timeout=2.0)
+        with pytest.raises(ServeClientError) as err:
+            client.health()
+        assert "cannot reach" in str(err.value)
+        assert f"127.0.0.1:{port}/healthz" in str(err.value)
+        assert err.value.status == 0
+
+
 class TestHTTPPlumbing:
     def test_unknown_path_is_404_with_endpoint_menu(self, server):
         status, _, body = _post_raw(server, "/nope", b"{}")
@@ -335,6 +496,24 @@ class TestParseTaskRequest:
             default_timeout=4.5,
         )
         assert override.timeout == 1.0
+
+    def test_explicit_null_timeout_cannot_disable_the_server_default(
+        self, inst
+    ):
+        # Regression: ``"timeout": null`` used to bypass default_timeout
+        # entirely, letting a client shed the protective deadline and
+        # wedge a worker on an unbounded exact solve.
+        request = task_request(inst, "active", 2)
+        request["timeout"] = None
+        task = parse_task_request(request, default_timeout=4.5)
+        assert task.timeout == 4.5
+
+    def test_explicit_null_timeout_without_default_stays_unbounded(
+        self, inst
+    ):
+        request = task_request(inst, "active", 2)
+        request["timeout"] = None
+        assert parse_task_request(request).timeout is None
 
     @pytest.mark.parametrize(
         "mutate, fragment",
