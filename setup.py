@@ -22,6 +22,7 @@ setup(
         "test": ["pytest", "hypothesis"],
         "viz": ["matplotlib"],
         "mip": ["mip>=1.14"],
+        "highs": ["highspy>=1.7"],
     },
     entry_points={
         "console_scripts": [

@@ -8,7 +8,11 @@ any extra parameters.  Two layers:
 * an optional on-disk JSON store (one file per digest) so repeated
   sweeps across process runs are near-free — bounded by an optional
   byte budget with oldest-mtime eviction (``repro cache --prune``
-  applies the same policy from the CLI).
+  applies the same policy from the CLI).  Records above
+  ``compress_threshold`` bytes are stored gzip-compressed
+  (``<digest>.json.gz``); reads handle both formats transparently and
+  the byte budget counts on-disk (compressed) size, so large sweep
+  records stop dominating the disk budget.
 
 Only JSON-serializable result records go through the cache — schedules
 stay in-process.  Records are deep-copied at the ``get``/``put``
@@ -20,6 +24,7 @@ lock so concurrent serving threads share one cache safely.
 from __future__ import annotations
 
 import copy
+import gzip
 import hashlib
 import json
 import os
@@ -104,6 +109,13 @@ class ResultCache:
         Optional byte budget for the disk layer.  After every disk
         write, oldest-mtime entries are evicted until the store fits;
         ``None`` leaves the disk layer unbounded (the seed behavior).
+    compress_threshold:
+        Records whose JSON text exceeds this many bytes are written
+        gzip-compressed as ``<digest>.json.gz`` (large sweep records
+        compress severalfold); smaller records stay plain JSON for
+        zero-dependency inspection.  ``None`` disables compression.
+        Reads are format-transparent either way, so changing the
+        threshold never invalidates an existing store.
     """
 
     def __init__(
@@ -112,6 +124,7 @@ class ResultCache:
         directory: str | Path | None = None,
         *,
         disk_budget: int | None = None,
+        compress_threshold: int | None = 4096,
     ) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
@@ -119,9 +132,15 @@ class ResultCache:
             raise ValueError(
                 f"disk_budget must be non-negative, got {disk_budget}"
             )
+        if compress_threshold is not None and compress_threshold < 0:
+            raise ValueError(
+                "compress_threshold must be non-negative, got "
+                f"{compress_threshold}"
+            )
         self.maxsize = maxsize
         self.directory = Path(directory) if directory is not None else None
         self.disk_budget = disk_budget
+        self.compress_threshold = compress_threshold
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
@@ -143,10 +162,27 @@ class ResultCache:
         with self._lock:
             return len(self._memory)
 
-    def _disk_path(self, key: str) -> Path | None:
-        if self.directory is None:
+    def _disk_paths(self, key: str) -> tuple[Path, Path]:
+        """``(plain, gzip)`` candidate paths for one digest.
+
+        A digest lives in at most one of the two (``put`` removes the
+        stale twin on a format change); readers try both.
+        """
+        return (
+            self.directory / f"{key}.json",
+            self.directory / f"{key}.json.gz",
+        )
+
+    @staticmethod
+    def _read_record(path: Path) -> dict[str, Any] | None:
+        """Parse one disk entry, plain or gzipped; ``None`` on any error."""
+        try:
+            raw = path.read_bytes()
+            if path.name.endswith(".json.gz"):
+                raw = gzip.decompress(raw)
+            return json.loads(raw)
+        except (OSError, EOFError, gzip.BadGzipFile, json.JSONDecodeError):
             return None
-        return self.directory / f"{key}.json"
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Return the cached record for ``key`` or ``None`` on a miss.
@@ -161,12 +197,14 @@ class ResultCache:
                 self._memory.move_to_end(key)
                 self.hits += 1
                 return copy.deepcopy(record)
-        path = self._disk_path(key)
-        if path is not None and path.exists():
-            try:
-                record = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                record = None
+        if self.directory is not None:
+            record = path = None
+            for candidate in self._disk_paths(key):
+                if candidate.exists():
+                    record = self._read_record(candidate)
+                    if record is not None:
+                        path = candidate
+                        break
             if record is not None:
                 # Refresh the entry's mtime: prune() evicts oldest-mtime
                 # first, so without the touch the most frequently *read*
@@ -193,17 +231,33 @@ class ResultCache:
         """
         with self._lock:
             self._store_memory(key, record)
-        path = self._disk_path(key)
-        if path is not None:
+        if self.directory is not None:
+            plain, packed = self._disk_paths(key)
+            payload = json.dumps(record, sort_keys=True).encode("utf-8")
+            compress = (
+                self.compress_threshold is not None
+                and len(payload) > self.compress_threshold
+            )
+            if compress:
+                payload = gzip.compress(payload)
+            path, stale = (packed, plain) if compress else (plain, packed)
             # Unique tmp name: concurrent runs sharing a cache directory
             # may put the same digest; a fixed tmp name would race.
-            tmp = path.with_suffix(f".{os.getpid()}.{id(self):x}.tmp")
-            text = json.dumps(record, sort_keys=True)
-            tmp.write_text(text)
+            tmp = path.parent / (
+                f"{path.name}.{os.getpid()}.{id(self):x}.tmp"
+            )
+            tmp.write_bytes(payload)
             tmp.replace(path)
+            # A re-put may cross the threshold in either direction; the
+            # other format's file would otherwise linger as a stale
+            # duplicate charged against the budget.
+            try:
+                stale.unlink()
+            except OSError:
+                pass
             if self.disk_budget is not None:
                 with self._lock:
-                    self._disk_estimate += len(text)
+                    self._disk_estimate += len(payload)
                     threatened = self._disk_estimate > self.disk_budget
                 if threatened:
                     self.prune()
@@ -228,7 +282,9 @@ class ResultCache:
         if self.directory is None:
             return []
         entries: list[tuple[Path, int, float]] = []
-        for path in self.directory.glob("*.json"):
+        candidates = list(self.directory.glob("*.json"))
+        candidates.extend(self.directory.glob("*.json.gz"))
+        for path in candidates:
             try:
                 stat = path.stat()
             except OSError:

@@ -28,6 +28,13 @@ Design points:
   overruns its task's budget (``SIGALRM`` cannot interrupt a solver
   stuck inside HiGHS C code; killing the process can).  The task gets a
   ``timeout`` result and the batch continues on a fresh worker.
+* **Sticky structure affinity** — tasks tagged with a
+  ``structure_group`` (sweep chains of near-identical LP/MILP
+  structures) are parent-dispatched through the watchdog pool with the
+  group bound to one worker process, so a resolve-capable solver
+  backend's resident-model cache serves the whole warm-start chain;
+  affinity is best-effort and never idles a worker while work is
+  queued.
 * **Clean interrupt** — ``KeyboardInterrupt`` cancels outstanding
   futures and shuts the pool down without waiting, so Ctrl-C leaves no
   orphaned workers behind.
@@ -335,15 +342,24 @@ class BatchRunner:
         own ``timeout`` (the digest excludes it), and its failure retry
         joins the queue mid-stream — it must find the watchdog already
         in charge, or its hard deadline would silently degrade to a soft
-        one.  jobs=1 stays in-process by contract (solvers registered
-        only in this process), so its timeouts remain soft.  A single
-        pending task without any deadline in play also runs in-process:
-        spinning up a pool for it would cost more than the solve.
+        one.  Structure-grouped tasks (sweep chains) also take the
+        watchdog pool when parallel: its parent-mediated dispatch is
+        what makes sticky worker affinity possible, so a chain of
+        same-structure solves lands on one worker process and a
+        resolve-capable backend re-solves warm (the plain
+        ``ProcessPoolExecutor`` offers no control over which worker
+        picks a task).  jobs=1 stays in-process by contract (solvers
+        registered only in this process), so its timeouts remain soft.
+        A single pending task without any deadline in play also runs
+        in-process: spinning up a pool for it would cost more than the
+        solve.
         """
         if self.jobs > 1 and any(t.timeout is not None for t in tasks):
             return self._stream_watchdog
         if self.jobs == 1 or len(work) <= 1:
             return self._stream_serial
+        if any(t.structure_group is not None for t in tasks):
+            return self._stream_watchdog
         return self._stream_parallel
 
     @staticmethod
@@ -494,9 +510,20 @@ class BatchRunner:
         ``jobs``), so concurrent streams share capacity instead of
         over-spawning; idle workers are returned as soon as this stream
         has no queued work left for them.
+
+        Dispatch is *sticky* for structure-grouped tasks: the first
+        task of a group binds the group to its worker, and later tasks
+        of the same group prefer that worker — which is what lets a
+        resolve-capable backend's per-process resident-model cache
+        serve the whole warm-start chain.  Affinity is best-effort and
+        work-conserving: an idle worker never waits for "its" group
+        while other work is queued (it steals and rebinds instead), so
+        the worst case degrades to today's arbitrary placement, never
+        to idling.
         """
         ctx = mp.get_context()
         held: list[_WatchdogWorker] = []
+        affinity: dict[str, _WatchdogWorker] = {}
         try:
             while True:
                 busy = [w for w in held if w.task is not None]
@@ -526,7 +553,9 @@ class BatchRunner:
                     for i, worker in enumerate(held):
                         if worker.task is not None or not work:
                             continue
-                        pos, task = work.popleft()
+                        pos, task = self._take_task(
+                            work, worker, affinity, held
+                        )
                         try:
                             worker.dispatch(pos, task, self.watchdog_grace)
                         except (BrokenPipeError, OSError):
@@ -597,6 +626,49 @@ class BatchRunner:
                 if worker.task is not None:
                     self._wd_discard(worker)
             self._wd_release([w for w in held if w.task is None])
+
+    @staticmethod
+    def _take_task(
+        work: Deque[tuple[int, Task]],
+        worker: _WatchdogWorker,
+        affinity: dict[str, _WatchdogWorker],
+        held: list[_WatchdogWorker],
+    ) -> tuple[int, Task]:
+        """Pop the best queued task for ``worker``, sticky by group.
+
+        Preference order: (1) a task whose structure group is already
+        bound to this worker — the warm-chain continuation; (2) the
+        first task whose group is unbound (or bound to a worker no
+        longer held — killed, replaced, or shed to another stream) or
+        that has no group; (3) the queue head, stealing it from the
+        worker its group is bound to and rebinding.  (3) keeps dispatch
+        work-conserving: affinity shapes placement, it never idles a
+        worker while work is queued.  Callers must ensure ``work`` is
+        non-empty.
+        """
+        own: int | None = None
+        fallback: int | None = None
+        for i, (_, task) in enumerate(work):
+            group = task.structure_group
+            if group is None:
+                if fallback is None:
+                    fallback = i
+                continue
+            bound = affinity.get(group)
+            if bound is worker:
+                own = i
+                break
+            if fallback is None and not any(w is bound for w in held):
+                fallback = i
+        index = own if own is not None else (
+            fallback if fallback is not None else 0
+        )
+        pos, task = work[index]
+        del work[index]
+        group = task.structure_group
+        if group is not None:
+            affinity[group] = worker
+        return pos, task
 
     def _wd_acquire(
         self, want: int, *, block: bool

@@ -75,6 +75,19 @@ class Task:
         """The generator seed, if the task records one (for error context)."""
         return self.meta.get("seed", self.params.get("seed"))
 
+    @property
+    def structure_group(self) -> str | None:
+        """Label of this task's model-structure family, if assigned.
+
+        Sweep expansion tags tasks whose solves build (near-)identical
+        LP/MILP structures (same generator family, size and algorithm);
+        the runner keeps a group sticky to one worker process so a
+        resolve-capable backend's resident-model cache actually hits
+        across the chain.  ``None`` means no affinity preference.
+        """
+        group = self.meta.get("structure_group")
+        return group if isinstance(group, str) else None
+
 
 def make_task(
     index: int,

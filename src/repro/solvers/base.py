@@ -25,7 +25,12 @@ import numpy as np
 
 from .ir import LinearProgram
 
-__all__ = ["SolverResult", "SolverBackend", "SolverError"]
+__all__ = [
+    "SolverResult",
+    "SolverBackend",
+    "SolverError",
+    "validate_warm_start",
+]
 
 #: The closed set of result statuses every backend maps onto.
 STATUSES = ("optimal", "infeasible", "unbounded", "timeout", "error")
@@ -33,6 +38,26 @@ STATUSES = ("optimal", "infeasible", "unbounded", "timeout", "error")
 
 class SolverError(RuntimeError):
     """Raised by :meth:`SolverResult.require_optimal` on a non-optimal solve."""
+
+
+def validate_warm_start(lp: LinearProgram, warm: Any) -> np.ndarray:
+    """Check a ``warm_start`` vector against ``lp`` before handing it to
+    a native solver.
+
+    Native modeling layers silently truncate or mis-index a wrong-length
+    start vector; validating here turns that into an immediate, explicit
+    error.  Shared by every backend that accepts
+    ``options={"warm_start": ...}``.
+    """
+    arr = np.asarray(warm, dtype=float).ravel()
+    if len(arr) != lp.num_vars:
+        raise ValueError(
+            f"warm_start has {len(arr)} entries but "
+            f"{lp.describe() or 'the program'} has {lp.num_vars} columns"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("warm_start must contain only finite values")
+    return arr
 
 
 @dataclass(frozen=True, eq=False)
@@ -81,9 +106,12 @@ class SolverResult:
 class SolverBackend(Protocol):
     """What the rest of the repository knows about an LP/MILP solver.
 
-    Implementations are stateless adapters: each ``solve`` call is
-    independent, so one backend instance can be shared process-wide
-    (the registry does exactly that).
+    Implementations behave as stateless adapters: each ``solve`` call
+    returns an independent result, so one backend instance can be
+    shared process-wide (the registry does exactly that).  A backend
+    with the ``resolve`` capability may keep internal model state
+    between calls as a performance cache, but that state must never
+    change results and must be safe to share across threads.
     """
 
     #: Stable registry name (``scipy-highs``, ``mip``, ``reference``).
@@ -91,7 +119,15 @@ class SolverBackend(Protocol):
 
     def capabilities(self) -> frozenset[str]:
         """Declared abilities: a set drawn from ``{"lp", "milp",
-        "sparse", "warm-start", "dependency-free"}`` (extensible)."""
+        "sparse", "warm-start", "resolve", "duals",
+        "dependency-free"}`` (extensible).
+
+        ``warm-start`` — accepts ``options={"warm_start": x}`` (validated
+        via :func:`validate_warm_start`); ``resolve`` — keeps solver
+        models resident across calls and re-solves structure-identical
+        programs by in-place mutation; ``duals`` — populates dual values
+        and basis information in ``SolverResult.extra`` on LP optima.
+        """
         ...
 
     def available(self) -> bool:

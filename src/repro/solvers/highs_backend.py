@@ -1,0 +1,621 @@
+"""Optional backend: HiGHS driven directly through its python bindings.
+
+Unlike the scipy adapter — which rebuilds a fresh HiGHS model inside
+``linprog``/``milp`` on every call — this backend owns the model
+lifecycle: each solved program leaves a **resident model** behind, keyed
+by the program's *structure digest* (the sparsity pattern of both
+constraint blocks plus the integrality mask).  A later solve whose
+structure matches mutates only what changed — costs, variable bounds,
+row bounds, individual matrix coefficients — and re-runs the resident
+instance, which HiGHS warm-starts from the previous basis (LP) or from
+the previous incumbent (MILP).  For the sweep workloads in this
+repository, where one cell re-solves a chain of near-identical programs
+per g value or rounding stage, that replaces full model-build +
+cold-solve with a handful of coefficient updates and a few simplex
+iterations.
+
+Bindings are loaded lazily from two sources, in order:
+
+1. the standalone ``highspy`` package (``pip install .[highs]``);
+2. scipy's vendored build of the same nanobind bindings
+   (``scipy.optimize._highspy``) — present wherever scipy >= 1.15 is,
+   which makes ``resolve``/``duals`` available without an extra wheel.
+
+When neither importable surface exists the backend reports itself
+unavailable, exactly like the python-mip adapter, and the registry
+routes around it.
+
+Dual values and basis statuses from LP optima ride along in
+``SolverResult.extra`` (``duals_ub``, ``duals_eq``, ``reduced_costs``,
+``basis``), which unlocks rounding-anatomy analyses without a second
+solve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from .base import SolverResult, validate_warm_start
+from .ir import LinearProgram
+
+__all__ = ["HighsBackend", "structure_digest"]
+
+
+def _load_bindings():
+    """``(module, solver class, source tag)`` for the HiGHS bindings.
+
+    Prefers the standalone ``highspy`` wheel; falls back to scipy's
+    vendored build of the same nanobind module (its solver class is the
+    private ``_Highs`` base that ``highspy.Highs`` extends — the full C
+    API surface, minus sugar this adapter does not use).  Any import
+    failure makes the backend unavailable rather than raising.
+    """
+    try:  # soft dependency: absence is a capability fact, not an error
+        import highspy as mod
+
+        return mod, mod.Highs, "highspy"
+    except Exception:  # pragma: no cover - depends on the environment
+        pass
+    try:
+        from scipy.optimize._highspy import _core as mod
+
+        return mod, mod._Highs, "scipy-vendored"
+    except Exception:  # pragma: no cover - exercised only without scipy
+        return None, None, ""
+
+
+_hs, _Highs, _SOURCE = _load_bindings()
+
+#: Fraction of matrix coefficients allowed to change before a warm
+#: mutation gives up on per-entry ``changeCoeff`` calls and repasses the
+#: whole model (still on the resident instance, but without basis reuse).
+_COEFF_REBUILD_FRACTION = 0.25
+
+
+def structure_digest(lp: LinearProgram) -> str:
+    """Stable hash of a program's *structure*: its block shapes, sparsity
+    pattern and integrality mask.
+
+    Two programs with equal digests differ only in coefficient values —
+    objective, variable bounds, row bounds, matrix entries — which is
+    exactly the set a resident model can mutate in place.  Integrality
+    is part of the structure (an LP and its MILP sibling must never
+    share a resident model: their solver state is incompatible).
+    """
+    h = hashlib.sha256()
+    h.update(f"cols:{lp.num_vars}".encode())
+    for tag, block in (("ub", lp.a_ub), ("eq", lp.a_eq)):
+        if block is None:
+            h.update(f"|{tag}:none".encode())
+            continue
+        h.update(f"|{tag}:{block.shape[0]}".encode())
+        h.update(np.asarray(block.indptr, dtype=np.int64).tobytes())
+        h.update(np.asarray(block.indices, dtype=np.int64).tobytes())
+    h.update(b"|int:")
+    h.update((lp.integrality_array() > 0).astype(np.uint8).tobytes())
+    return h.hexdigest()
+
+
+def _stacked_csc(lp: LinearProgram) -> sparse.csc_matrix:
+    """Both constraint blocks (ub rows first, then eq rows) as one CSC
+    matrix with sorted indices — the canonical layout of a resident
+    model, and the layout coefficient diffs are computed in."""
+    blocks = [b for b in (lp.a_ub, lp.a_eq) if b is not None]
+    if not blocks:
+        return sparse.csc_matrix((0, lp.num_vars))
+    stacked = sparse.vstack(blocks).tocsc()
+    stacked.sort_indices()
+    return stacked
+
+
+def _row_bounds(lp: LinearProgram) -> tuple[np.ndarray, np.ndarray]:
+    """Two-sided row bounds in resident layout (ub block, then eq)."""
+    lower: list[np.ndarray] = []
+    upper: list[np.ndarray] = []
+    if lp.b_ub is not None:
+        lower.append(np.full(len(lp.b_ub), -np.inf))
+        upper.append(np.asarray(lp.b_ub, dtype=float))
+    if lp.b_eq is not None:
+        eq = np.asarray(lp.b_eq, dtype=float)
+        lower.append(eq)
+        upper.append(eq)
+    if not lower:
+        return np.zeros(0), np.zeros(0)
+    return np.concatenate(lower), np.concatenate(upper)
+
+
+def _feasible_point(
+    lp: LinearProgram, x: np.ndarray, tol: float = 1e-6
+) -> bool:
+    """Is ``x`` feasible for ``lp`` within solver tolerance — bounds,
+    both constraint blocks, and integrality?"""
+    lb, ub = lp.bounds_arrays()
+    if np.any(x < lb - tol) or np.any(x > ub + tol):
+        return False
+    if lp.a_ub is not None and np.any(
+        lp.a_ub @ x > np.asarray(lp.b_ub, dtype=float) + tol
+    ):
+        return False
+    if lp.a_eq is not None and np.any(
+        np.abs(lp.a_eq @ x - np.asarray(lp.b_eq, dtype=float)) > tol
+    ):
+        return False
+    mask = lp.integrality_array() > 0
+    return bool(np.all(np.abs(x[mask] - np.round(x[mask])) <= tol))
+
+
+class _ResidentModel:
+    """One HiGHS instance kept hot for a structure class of programs.
+
+    Holds the last-passed coefficient arrays (for diffing), the last
+    basis/solution (for explicit warm starts) and a per-model lock so
+    concurrent serving threads that hit the same structure serialize on
+    the model instead of corrupting it.
+    """
+
+    __slots__ = (
+        "digest",
+        "highs",
+        "relax",
+        "relax_basis",
+        "indptr",
+        "indices",
+        "data",
+        "c",
+        "lb",
+        "ub",
+        "row_lower",
+        "row_upper",
+        "num_ub_rows",
+        "is_milp",
+        "basis",
+        "last_x",
+        "solves",
+        "lock",
+    )
+
+    def __init__(self, digest: str) -> None:
+        self.digest = digest
+        self.highs = None  # built lazily under ``lock``
+        self.relax = None  # MILP-only: resident LP-relaxation twin
+        self.relax_basis = None
+        self.solves = 0
+        self.basis = None
+        self.last_x = None
+        self.lock = threading.Lock()
+
+
+class HighsBackend:
+    """LP/MILP via resident HiGHS models with warm-start re-solve chains.
+
+    Parameters
+    ----------
+    max_resident:
+        Bound on the per-process resolve cache; least-recently-used
+        resident models are dropped first.  Models are only a cache —
+        eviction affects speed, never results.
+    """
+
+    name = "highs"
+
+    def __init__(self, max_resident: int = 8) -> None:
+        if max_resident < 1:
+            raise ValueError(
+                f"max_resident must be >= 1, got {max_resident}"
+            )
+        self.max_resident = max_resident
+        self._models: OrderedDict[str, _ResidentModel] = OrderedDict()
+        self._lock = threading.Lock()
+        #: Warm re-solves served from a resident model (process lifetime).
+        self.resolve_hits = 0
+        #: Cold builds (first sight of a structure, or post-eviction).
+        self.resolve_misses = 0
+
+    def capabilities(self) -> frozenset[str]:
+        return frozenset(
+            {"lp", "milp", "sparse", "warm-start", "resolve", "duals"}
+        )
+
+    def available(self) -> bool:
+        return _Highs is not None
+
+    @staticmethod
+    def unavailable_reason() -> str:
+        """Human-readable install hint for menus and error messages."""
+        return (
+            "highspy is not installed (pip install 'highspy>=1.7' or "
+            "pip install '.[highs]'; scipy>=1.15 vendors the bindings)"
+        )
+
+    # ------------------------------------------------------------------
+    def resolve_stats(self) -> dict[str, int]:
+        """Resolve-cache counters plus the resident-model count."""
+        with self._lock:
+            return {
+                "hits": self.resolve_hits,
+                "misses": self.resolve_misses,
+                "resident": len(self._models),
+            }
+
+    def clear_resident(self) -> None:
+        """Drop every resident model (results are unaffected)."""
+        with self._lock:
+            self._models.clear()
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        lp: LinearProgram,
+        *,
+        time_limit: float | None = None,
+        options: Mapping[str, Any] | None = None,
+    ) -> SolverResult:
+        if _Highs is None:
+            raise RuntimeError(
+                f"backend {self.name!r} unavailable: "
+                f"{self.unavailable_reason()}"
+            )
+        start = time.perf_counter()
+        if lp.num_vars == 0:
+            return SolverResult(
+                status="optimal",
+                backend=self.name,
+                objective=0.0,
+                x=np.zeros(0),
+                elapsed=time.perf_counter() - start,
+            )
+        options = dict(options or {})
+        warm = options.pop("warm_start", None)
+        if warm is not None:
+            warm = validate_warm_start(lp, warm)
+        use_resolve = bool(options.pop("resolve", True))
+
+        digest = structure_digest(lp)
+        with self._lock:
+            resident = self._models.get(digest) if use_resolve else None
+            if resident is None:
+                resident = _ResidentModel(digest)
+                if use_resolve:
+                    self._models[digest] = resident
+                    while len(self._models) > self.max_resident:
+                        self._models.popitem(last=False)
+            else:
+                self._models.move_to_end(digest)
+
+        with resident.lock:
+            if resident.highs is None:
+                self._install(resident, lp)
+                mode = "cold"
+            else:
+                mode = self._mutate(resident, lp)
+            with self._lock:
+                if mode == "cold":
+                    self.resolve_misses += 1
+                else:
+                    self.resolve_hits += 1
+            return self._run(
+                resident, lp, warm, time_limit, options, mode, start
+            )
+
+    # ------------------------------------------------------------------
+    # Model construction and mutation
+    # ------------------------------------------------------------------
+    def _install(self, resident: _ResidentModel, lp: LinearProgram) -> None:
+        """Cold path: build a fresh HiGHS instance for this structure."""
+        resident.highs = _Highs()
+        resident.highs.setOptionValue("output_flag", False)
+        self._pass_model(resident, lp)
+
+    def _pass_model(self, resident: _ResidentModel, lp: LinearProgram) -> None:
+        """(Re)load the full model into the resident instance."""
+        n = lp.num_vars
+        stacked = _stacked_csc(lp)
+        row_lower, row_upper = _row_bounds(lp)
+        lb, ub = lp.bounds_arrays()
+
+        model = _hs.HighsLp()
+        model.num_col_ = n
+        model.num_row_ = stacked.shape[0]
+        model.col_cost_ = np.asarray(lp.c, dtype=float)
+        model.col_lower_ = lb
+        model.col_upper_ = ub
+        model.row_lower_ = row_lower
+        model.row_upper_ = row_upper
+        model.a_matrix_.format_ = _hs.MatrixFormat.kColwise
+        model.a_matrix_.start_ = np.asarray(stacked.indptr, dtype=np.int32)
+        model.a_matrix_.index_ = np.asarray(stacked.indices, dtype=np.int32)
+        model.a_matrix_.value_ = np.asarray(stacked.data, dtype=float)
+        if lp.is_milp:
+            mask = lp.integrality_array() > 0
+            model.integrality_ = [
+                _hs.HighsVarType.kInteger if m else
+                _hs.HighsVarType.kContinuous
+                for m in mask
+            ]
+        status = resident.highs.passModel(model)
+        if status == _hs.HighsStatus.kError:
+            raise RuntimeError(
+                f"HiGHS rejected the model for {lp.describe()}"
+            )
+        if lp.is_milp:
+            # Resident LP-relaxation twin: re-solved warm (one basis
+            # hop) before each MILP re-solve, its bound lets the chain
+            # prove the previous optimum still optimal and skip the
+            # full MIP run — see ``_incumbent_shortcut``.
+            if resident.relax is None:
+                resident.relax = _Highs()
+                resident.relax.setOptionValue("output_flag", False)
+            model.integrality_ = []
+            resident.relax.passModel(model)
+        else:
+            resident.relax = None
+        resident.relax_basis = None
+
+        resident.indptr = np.asarray(stacked.indptr, dtype=np.int64)
+        resident.indices = np.asarray(stacked.indices, dtype=np.int64)
+        resident.data = np.asarray(stacked.data, dtype=float)
+        resident.c = np.asarray(lp.c, dtype=float)
+        resident.lb, resident.ub = lb, ub
+        resident.row_lower, resident.row_upper = row_lower, row_upper
+        resident.num_ub_rows = (
+            0 if lp.b_ub is None else int(len(lp.b_ub))
+        )
+        resident.is_milp = lp.is_milp
+        resident.basis = None
+        resident.last_x = None
+
+    def _mutate(self, resident: _ResidentModel, lp: LinearProgram) -> str:
+        """Warm path: apply coefficient diffs to the resident model.
+
+        Returns the mode actually achieved: ``"warm"`` when in-place
+        mutation sufficed, ``"repass"`` when too many matrix entries
+        changed and the model was re-passed wholesale (resident
+        instance kept, basis discarded).
+        """
+        n = lp.num_vars
+        # The relaxation twin (MILP residents only) receives every
+        # mutation in lockstep so its bound probes always describe the
+        # *current* program.
+        targets = [resident.highs]
+        if resident.relax is not None:
+            targets.append(resident.relax)
+
+        stacked = _stacked_csc(lp)
+        data = np.asarray(stacked.data, dtype=float)
+        changed = np.flatnonzero(data != resident.data)
+        if len(changed) > max(64, _COEFF_REBUILD_FRACTION * len(data)):
+            self._pass_model(resident, lp)
+            return "repass"
+
+        c = np.asarray(lp.c, dtype=float)
+        if not np.array_equal(c, resident.c):
+            for h in targets:
+                h.changeColsCost(n, np.arange(n, dtype=np.int32), c)
+            resident.c = c
+
+        lb, ub = lp.bounds_arrays()
+        if not (
+            np.array_equal(lb, resident.lb)
+            and np.array_equal(ub, resident.ub)
+        ):
+            for h in targets:
+                h.changeColsBounds(n, np.arange(n, dtype=np.int32), lb, ub)
+            resident.lb, resident.ub = lb, ub
+
+        row_lower, row_upper = _row_bounds(lp)
+        rows_changed = np.flatnonzero(
+            (row_lower != resident.row_lower)
+            | (row_upper != resident.row_upper)
+        )
+        for r in rows_changed:
+            for h in targets:
+                h.changeRowBounds(
+                    int(r), float(row_lower[r]), float(row_upper[r])
+                )
+        if len(rows_changed):
+            resident.row_lower, resident.row_upper = row_lower, row_upper
+
+        if len(changed):
+            cols = (
+                np.searchsorted(resident.indptr, changed, side="right") - 1
+            )
+            for k, col in zip(changed, cols):
+                for h in targets:
+                    h.changeCoeff(
+                        int(resident.indices[k]), int(col), float(data[k])
+                    )
+            resident.data = data
+        return "warm"
+
+    # ------------------------------------------------------------------
+    # Solve and extraction
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        resident: _ResidentModel,
+        lp: LinearProgram,
+        warm: np.ndarray | None,
+        time_limit: float | None,
+        options: dict[str, Any],
+        mode: str,
+        start: float,
+    ) -> SolverResult:
+        h = resident.highs
+        if (
+            resident.is_milp
+            and mode == "warm"
+            and not options
+            and resident.last_x is not None
+        ):
+            proven = self._incumbent_shortcut(resident, lp, start)
+            if proven is not None:
+                resident.solves += 1
+                return proven
+        # Resident instances retain options between solves, so the time
+        # limit must be (re)set every call — including back to infinity.
+        h.setOptionValue(
+            "time_limit",
+            float(time_limit) if time_limit is not None else _hs.kHighsInf,
+        )
+        for key, value in options.items():
+            if h.setOptionValue(key, value) == _hs.HighsStatus.kError:
+                raise ValueError(
+                    f"HiGHS rejected option {key!r}={value!r}"
+                )
+
+        start_x = warm
+        if start_x is None and mode == "warm" and resident.last_x is not None:
+            start_x = resident.last_x
+        if resident.is_milp and start_x is not None:
+            solution = _hs.HighsSolution()
+            solution.col_value = np.asarray(start_x, dtype=float)
+            h.setSolution(solution)
+        elif mode == "warm" and resident.basis is not None:
+            h.setBasis(resident.basis)
+
+        h.run()
+        model_status = h.getModelStatus()
+        if model_status == _hs.HighsModelStatus.kUnboundedOrInfeasible:
+            # Presolve could not tell the two apart; re-run without it
+            # to get a definitive status (the same disambiguation
+            # scipy's _linprog_highs applies).
+            h.setOptionValue("presolve", "off")
+            h.run()
+            model_status = h.getModelStatus()
+            h.setOptionValue("presolve", "choose")
+        status = self._map_status(model_status, time_limit)
+        elapsed = time.perf_counter() - start
+        resident.solves += 1
+
+        extra: dict[str, Any] = {
+            "resolve": mode,
+            "structure": resident.digest[:16],
+            "highs_source": _SOURCE,
+        }
+        info = h.getInfo()
+        extra["simplex_iterations"] = int(info.simplex_iteration_count)
+        if resident.is_milp:
+            extra["mip_nodes"] = int(info.mip_node_count)
+
+        if status != "optimal":
+            resident.basis = None
+            resident.last_x = None
+            return SolverResult(
+                status=status,
+                backend=self.name,
+                message=h.modelStatusToString(model_status),
+                elapsed=elapsed,
+                extra=extra,
+            )
+
+        solution = h.getSolution()
+        x = np.array(solution.col_value, dtype=float)
+        resident.last_x = x.copy()
+        if not resident.is_milp:
+            basis = h.getBasis()
+            resident.basis = basis if basis.valid else None
+            if solution.dual_valid:
+                row_dual = np.array(solution.row_dual, dtype=float)
+                split = resident.num_ub_rows
+                extra["duals_ub"] = row_dual[:split]
+                extra["duals_eq"] = row_dual[split:]
+                extra["reduced_costs"] = np.array(
+                    solution.col_dual, dtype=float
+                )
+            if basis.valid:
+                extra["basis"] = {
+                    "col_status": [int(s) for s in basis.col_status],
+                    "row_status": [int(s) for s in basis.row_status],
+                }
+        return SolverResult(
+            status="optimal",
+            backend=self.name,
+            objective=float(info.objective_function_value),
+            x=x,
+            elapsed=elapsed,
+            extra=extra,
+        )
+
+    def _incumbent_shortcut(
+        self,
+        resident: _ResidentModel,
+        lp: LinearProgram,
+        start: float,
+    ) -> SolverResult | None:
+        """MILP warm re-solves: prove the previous optimum still optimal.
+
+        A HiGHS MILP ``run()`` always pays full presolve plus a
+        from-scratch root relaxation — the dominant fixed cost of a
+        re-solve chain, warm start or not.  This probe re-solves the
+        resident LP-relaxation twin instead (typically a few dual
+        simplex iterations from its previous basis) and compares the
+        bound — rounded up when the objective is provably integral —
+        against the previous incumbent.  A still-feasible incumbent
+        that meets the bound *is* the optimum, so the MIP run is
+        skipped outright.  Returns ``None`` when no proof is available;
+        the caller falls through to the full solve, so this is only
+        ever a fast path, never a semantic one.
+        """
+        relax = resident.relax
+        if relax is None:
+            return None
+        x_prev = resident.last_x
+        if not _feasible_point(lp, x_prev):
+            return None
+        relax.setOptionValue("time_limit", _hs.kHighsInf)
+        if resident.relax_basis is not None:
+            relax.setBasis(resident.relax_basis)
+        relax.run()
+        if relax.getModelStatus() != _hs.HighsModelStatus.kOptimal:
+            return None
+        basis = relax.getBasis()
+        resident.relax_basis = basis if basis.valid else None
+        info = relax.getInfo()
+        bound = float(info.objective_function_value)
+        c = np.asarray(lp.c, dtype=float)
+        mask = lp.integrality_array() > 0
+        if np.all(c[~mask] == 0.0) and np.all(c == np.floor(c)):
+            # The objective is supported on integer variables with
+            # integer coefficients, so the MILP optimum is an integer
+            # and the relaxation bound legitimately rounds up.
+            bound = float(np.ceil(bound - 1e-6))
+        objective = float(np.dot(c, x_prev))
+        if objective > bound + 1e-6:
+            return None
+        return SolverResult(
+            status="optimal",
+            backend=self.name,
+            objective=objective,
+            x=x_prev.copy(),
+            elapsed=time.perf_counter() - start,
+            extra={
+                "resolve": "warm",
+                "shortcut": "incumbent-bound",
+                "structure": resident.digest[:16],
+                "highs_source": _SOURCE,
+                "simplex_iterations": int(info.simplex_iteration_count),
+                "mip_nodes": 0,
+            },
+        )
+
+    @staticmethod
+    def _map_status(model_status, time_limit) -> str:
+        M = _hs.HighsModelStatus
+        if model_status in (M.kOptimal, M.kModelEmpty):
+            return "optimal"
+        if model_status == M.kInfeasible:
+            return "infeasible"
+        if model_status == M.kUnbounded:
+            return "unbounded"
+        if model_status in (M.kTimeLimit, M.kIterationLimit):
+            # A budgeted run out of budget is a timeout; the same
+            # statuses without a budget indicate solver trouble.
+            return "timeout" if time_limit is not None else "error"
+        return "error"

@@ -17,7 +17,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from .base import SolverResult
+from .base import SolverResult, validate_warm_start
 from .ir import LinearProgram
 
 __all__ = ["PythonMipBackend"]
@@ -99,8 +99,11 @@ class PythonMipBackend:
 
         # python-mip's warm-start hook: a (var, value) list seeds the
         # incumbent so branch-and-bound starts from a known solution.
+        # A wrong-length vector would silently seed only a prefix (or
+        # index past the variables) — validate before handing it over.
         warm = options.pop("warm_start", None)
         if warm is not None:
+            warm = validate_warm_start(lp, warm)
             model.start = [
                 (variables[i], float(v)) for i, v in enumerate(warm)
             ]

@@ -20,6 +20,7 @@ from dataclasses import replace
 from typing import Any, Iterable, Mapping
 
 from .base import SolverBackend, SolverResult
+from .highs_backend import HighsBackend
 from .ir import LinearProgram
 from .mip_backend import PythonMipBackend
 from .reference import ReferenceBackend
@@ -204,5 +205,6 @@ def solve_ir(
 # Built-in registrations
 # ----------------------------------------------------------------------
 register_backend(ScipyHighsBackend())
+register_backend(HighsBackend())
 register_backend(PythonMipBackend())
 register_backend(ReferenceBackend())

@@ -249,3 +249,82 @@ class TestDiskEviction:
         cache.put("k", {"v": 1})
         assert cache.disk_usage() == (0, 0)
         assert cache.get("k") == {"v": 1}  # memory layer still serves it
+
+
+class TestGzipCompression:
+    def _big_record(self):
+        return {"metrics": {f"m{i}": float(i) for i in range(400)}}
+
+    def test_large_record_lands_compressed(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, compress_threshold=256)
+        cache.put("big", self._big_record())
+        assert (tmp_path / "big.json.gz").exists()
+        assert not (tmp_path / "big.json").exists()
+
+    def test_small_record_stays_plain(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, compress_threshold=256)
+        cache.put("small", {"v": 1})
+        assert (tmp_path / "small.json").exists()
+        assert not (tmp_path / "small.json.gz").exists()
+
+    def test_compressed_record_reads_back(self, tmp_path):
+        record = self._big_record()
+        ResultCache(directory=tmp_path, compress_threshold=0).put(
+            "k", record
+        )
+        # fresh instance: empty memory layer forces a *disk* read
+        assert ResultCache(directory=tmp_path).get("k") == record
+
+    def test_threshold_none_disables_compression(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, compress_threshold=None)
+        cache.put("big", self._big_record())
+        assert (tmp_path / "big.json").exists()
+        assert not (tmp_path / "big.json.gz").exists()
+
+    def test_budget_counts_compressed_size(self, tmp_path):
+        record = self._big_record()
+        import gzip as _gzip
+        import json as _json
+
+        text = _json.dumps(record, sort_keys=True).encode()
+        packed = len(_gzip.compress(text))
+        assert packed < len(text)  # the record actually compresses
+        # budget admits the compressed record but not the plain one
+        cache = ResultCache(
+            directory=tmp_path,
+            disk_budget=(packed + len(text)) // 2,
+            compress_threshold=0,
+        )
+        cache.put("k", record)
+        num, size = cache.disk_usage()
+        assert (num, size) == (1, packed)
+        assert cache.evictions == 0  # fits the budget only because gzip'd
+
+    def test_reput_across_threshold_removes_stale_twin(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, compress_threshold=256)
+        cache.put("k", self._big_record())
+        assert (tmp_path / "k.json.gz").exists()
+        cache.put("k", {"v": 1})  # shrinks below the threshold
+        assert (tmp_path / "k.json").exists()
+        assert not (tmp_path / "k.json.gz").exists()
+        assert len(cache.disk_entries()) == 1
+
+    def test_prune_evicts_compressed_entries_too(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, compress_threshold=0)
+        for i in range(4):
+            cache.put(f"k{i}", self._big_record())
+        assert all(p.name.endswith(".json.gz")
+                   for p, _, _ in cache.disk_entries())
+        summary = cache.prune(0)
+        assert summary["removed"] == 4 and summary["kept"] == 0
+        assert cache.disk_usage() == (0, 0)
+
+    def test_corrupt_gzip_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, compress_threshold=0)
+        cache.put("k", self._big_record())
+        (tmp_path / "k.json.gz").write_bytes(b"not gzip at all")
+        assert ResultCache(directory=tmp_path).get("k") is None
+
+    def test_rejects_negative_threshold(self, tmp_path):
+        with pytest.raises(ValueError, match="compress_threshold"):
+            ResultCache(directory=tmp_path, compress_threshold=-1)

@@ -514,3 +514,170 @@ class TestResultsStore:
         by_cell = {r["cell"]: r for r in rows}
         assert by_cell["active/minimal g=2"]["errors"] == 0
         assert by_cell["active/unit g=1"]["errors"] == 1
+
+
+class TestStructureAffinity:
+    def test_sweep_tasks_carry_structure_groups(self):
+        from repro.engine import SweepGrid, build_sweep_tasks
+
+        tasks = build_sweep_tasks(
+            [
+                SweepGrid(
+                    problem="active",
+                    generators=("active", "tight"),
+                    algorithms=("minimal", "rounding"),
+                    g_values=(3, 4),
+                    instances_per_cell=2,
+                )
+            ]
+        )
+        groups = [t.structure_group for t in tasks]
+        assert all(g is not None for g in groups)
+        # one group per (generator, algorithm) pair
+        assert len(set(groups)) == 4
+        # grouping never feeds the digest: the group label lives in meta
+        assert all("structure_group" in t.meta for t in tasks)
+        # groups are contiguous runs in the expansion order, so a sticky
+        # worker sees its whole chain back-to-back
+        seen: list[str] = []
+        for g in groups:
+            if not seen or seen[-1] != g:
+                assert g not in seen, f"group {g} not contiguous"
+                seen.append(g)
+
+    def test_structure_group_property_guards_type(self, small_instances):
+        from repro.engine import make_task
+
+        task = make_task(
+            0, "active", "minimal", 2, small_instances[0],
+            meta={"structure_group": 42},
+        )
+        assert task.structure_group is None
+        assert make_task(
+            0, "active", "minimal", 2, small_instances[0]
+        ).structure_group is None
+
+    def _grouped_work(self, small_instances, groups):
+        from collections import deque
+
+        from repro.engine import make_task
+
+        return deque(
+            (
+                i,
+                make_task(
+                    i, "active", "minimal", 2, small_instances[0],
+                    meta=(
+                        {"structure_group": g} if g is not None else {}
+                    ),
+                ),
+            )
+            for i, g in enumerate(groups)
+        )
+
+    def test_take_task_prefers_bound_group(self, small_instances):
+        from repro.engine.runner import BatchRunner
+
+        w1, w2 = object(), object()
+        held = [w1, w2]
+        work = self._grouped_work(small_instances, ["A", "B", "A"])
+        affinity = {}
+        # w1 takes the head and binds group A
+        pos, task = BatchRunner._take_task(work, w1, affinity, held)
+        assert pos == 0 and affinity["A"] is w1
+        # w2 skips A's continuation (bound to live w1) and takes B
+        pos, task = BatchRunner._take_task(work, w2, affinity, held)
+        assert pos == 1 and affinity["B"] is w2
+        # w1 gets its own group's continuation
+        pos, task = BatchRunner._take_task(work, w1, affinity, held)
+        assert pos == 2 and not work
+
+    def test_take_task_steals_rather_than_idles(self, small_instances):
+        from repro.engine.runner import BatchRunner
+
+        w1, w2 = object(), object()
+        held = [w1, w2]
+        work = self._grouped_work(small_instances, ["A", "A"])
+        affinity = {}
+        BatchRunner._take_task(work, w1, affinity, held)
+        # every queued task belongs to w1's group, but w2 must not idle:
+        # it steals the head and the group rebinds
+        pos, task = BatchRunner._take_task(work, w2, affinity, held)
+        assert pos == 1 and affinity["A"] is w2
+
+    def test_take_task_rebinds_groups_of_departed_workers(
+        self, small_instances
+    ):
+        from repro.engine.runner import BatchRunner
+
+        gone, alive = object(), object()
+        held = [alive]  # ``gone`` was killed/replaced or shed
+        work = self._grouped_work(small_instances, ["A"])
+        affinity = {"A": gone}
+        pos, task = BatchRunner._take_task(work, alive, affinity, held)
+        assert pos == 0 and affinity["A"] is alive
+
+    def test_take_task_prefers_ungrouped_over_foreign_group(
+        self, small_instances
+    ):
+        from repro.engine.runner import BatchRunner
+
+        w1, w2 = object(), object()
+        held = [w1, w2]
+        work = self._grouped_work(small_instances, ["A", None])
+        affinity = {"A": w1}
+        pos, task = BatchRunner._take_task(work, w2, affinity, held)
+        assert pos == 1 and task.structure_group is None
+
+    def test_grouped_tasks_route_to_watchdog_when_parallel(
+        self, small_instances
+    ):
+        from repro.engine import make_task
+        from repro.engine.runner import BatchRunner
+
+        grouped = [
+            make_task(
+                i, "active", "minimal", 3, small_instances[i % 2],
+                meta={"structure_group": "G"},
+            )
+            for i in range(4)
+        ]
+        plain = [
+            make_task(i, "active", "minimal", 3, small_instances[i % 2])
+            for i in range(4)
+        ]
+        with BatchRunner(jobs=2) as runner:
+            work = [(i, t) for i, t in enumerate(grouped)]
+            assert (
+                runner._pick_strategy(grouped, work)
+                == runner._stream_watchdog
+            )
+            assert (
+                runner._pick_strategy(plain, work)
+                == runner._stream_parallel
+            )
+        # jobs=1 stays serial regardless of grouping
+        with BatchRunner(jobs=1) as runner:
+            assert (
+                runner._pick_strategy(grouped, work)
+                == runner._stream_serial
+            )
+
+    def test_grouped_sweep_results_match_serial(self):
+        from repro.engine import SweepGrid, run_sweep
+
+        grid = SweepGrid(
+            problem="active",
+            generators=("active",),
+            algorithms=("minimal", "rounding"),
+            g_values=(3,),
+            instances_per_cell=2,
+        )
+        serial = run_sweep([grid], jobs=1)
+        parallel = run_sweep([grid], jobs=2)
+        assert [r.objective for r in serial.results] == [
+            r.objective for r in parallel.results
+        ]
+        assert [r.ok for r in serial.results] == [
+            r.ok for r in parallel.results
+        ]

@@ -359,3 +359,159 @@ class TestEngineRouting:
         )
         with pytest.raises(ValueError, match="available backends"):
             grid.validate()
+
+
+# ----------------------------------------------------------------------
+# Warm-start validation (helper shared across backends)
+# ----------------------------------------------------------------------
+class TestWarmStartValidation:
+    def _lp(self):
+        return LinearProgram.build(
+            [1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[2.0],
+            lb=[0.0, 0.0], ub=[2.0, 2.0],
+        )
+
+    def test_wrong_length_reports_expected_and_actual(self):
+        from repro.solvers import validate_warm_start
+
+        with pytest.raises(ValueError, match="3 entries.*2 columns"):
+            validate_warm_start(self._lp(), [1.0, 1.0, 1.0])
+
+    def test_non_finite_rejected(self):
+        from repro.solvers import validate_warm_start
+
+        with pytest.raises(ValueError, match="finite"):
+            validate_warm_start(self._lp(), [np.nan, 1.0])
+
+    def test_valid_vector_passes_through_as_floats(self):
+        from repro.solvers import validate_warm_start
+
+        out = validate_warm_start(self._lp(), [1, 0])
+        assert out.dtype == float and out.tolist() == [1.0, 0.0]
+
+    def test_highs_solve_rejects_bad_warm_start(self):
+        from repro.solvers import HighsBackend
+
+        backend = HighsBackend()
+        if not backend.available():
+            pytest.skip("highs bindings unavailable")
+        with pytest.raises(ValueError, match="1 entries.*2 columns"):
+            backend.solve(self._lp(), options={"warm_start": [1.0]})
+
+
+# ----------------------------------------------------------------------
+# The highs backend's resident-model resolve cache
+# ----------------------------------------------------------------------
+def _require_highs():
+    from repro.solvers import HighsBackend
+
+    backend = HighsBackend()
+    if not backend.available():
+        pytest.skip("highs bindings unavailable")
+    return backend
+
+
+def _chain_lp(rhs: float, cost: float = -1.0):
+    """Same structure for every call; only coefficient values vary."""
+    return LinearProgram.build(
+        [cost, -2.0], a_ub=[[1.0, 1.0]], b_ub=[rhs],
+        lb=[0.0, 0.0], ub=[3.0, 2.0],
+    )
+
+
+class TestHighsResolve:
+    def test_warm_resolve_matches_cold(self):
+        warm = _require_highs()
+        cold = _require_highs()
+        for rhs in (4.0, 3.0, 5.0, 2.5):
+            a = warm.solve(_chain_lp(rhs))
+            b = cold.solve(_chain_lp(rhs), options={"resolve": False})
+            assert a.status == b.status == "optimal"
+            assert a.objective == pytest.approx(b.objective, abs=1e-9)
+            assert b.extra["resolve"] == "cold"
+        # the chain after the first solve ran warm, not cold
+        assert warm.resolve_stats() == {
+            "hits": 3, "misses": 1, "resident": 1
+        }
+        assert cold.resolve_stats()["resident"] == 0
+
+    def test_milp_warm_chain_matches_cold(self):
+        warm = _require_highs()
+        for rhs in (7.0, 6.0, 5.0):
+            lp = LinearProgram.build(
+                [-1.0, -1.0], a_ub=[[2.0, 3.0]], b_ub=[rhs],
+                lb=[0.0, 0.0], ub=[2.0, 2.0], integrality=[1, 1],
+            )
+            a = warm.solve(lp)
+            b = warm.solve(lp, options={"resolve": False})
+            assert a.status == b.status == "optimal"
+            assert a.objective == pytest.approx(b.objective, abs=1e-9)
+            # integral solutions, both paths
+            assert np.allclose(a.x, np.round(a.x), atol=1e-6)
+
+    def test_lp_optimum_exposes_duals(self):
+        backend = _require_highs()
+        result = backend.solve(_chain_lp(4.0))
+        assert result.status == "optimal"
+        assert "duals_ub" in result.extra
+        assert len(result.extra["duals_ub"]) == 1
+        assert len(result.extra["reduced_costs"]) == 2
+
+    def test_structure_change_is_a_miss(self):
+        backend = _require_highs()
+        backend.solve(_chain_lp(4.0))
+        # extra row -> different sparsity pattern -> new resident model
+        other = LinearProgram.build(
+            [-1.0, -2.0], a_ub=[[1.0, 1.0], [1.0, 0.0]],
+            b_ub=[4.0, 3.0], lb=[0.0, 0.0], ub=[3.0, 2.0],
+        )
+        backend.solve(other)
+        stats = backend.resolve_stats()
+        assert stats == {"hits": 0, "misses": 2, "resident": 2}
+
+    def test_resident_cache_evicts_lru(self):
+        from repro.solvers import HighsBackend
+
+        backend = HighsBackend(max_resident=2)
+        if not backend.available():
+            pytest.skip("highs bindings unavailable")
+        programs = [
+            _chain_lp(4.0),  # structure A
+            LinearProgram.build(  # structure B (eq row)
+                [1.0, 1.0], a_eq=[[1.0, 1.0]], b_eq=[1.0],
+                lb=[0.0, 0.0], ub=[1.0, 1.0],
+            ),
+            LinearProgram.build(  # structure C (single var)
+                [1.0], a_ub=[[1.0]], b_ub=[1.0], lb=[0.0], ub=[2.0],
+            ),
+        ]
+        for lp in programs:
+            assert backend.solve(lp).status == "optimal"
+        assert backend.resolve_stats()["resident"] == 2
+        # structure A was evicted: re-solving it is a miss, not a hit —
+        # but the answer is identical either way
+        result = backend.solve(programs[0])
+        assert result.extra["resolve"] == "cold"
+        assert result.objective == pytest.approx(-6.0, abs=1e-6)
+        assert backend.resolve_stats()["misses"] == 4
+
+    def test_clear_resident_forces_cold_rebuild(self):
+        backend = _require_highs()
+        backend.solve(_chain_lp(4.0))
+        backend.clear_resident()
+        result = backend.solve(_chain_lp(4.0))
+        assert result.extra["resolve"] == "cold"
+        assert backend.resolve_stats()["resident"] == 1
+
+    def test_structure_digest_separates_lp_from_milp(self):
+        from repro.solvers import structure_digest
+
+        lp = LinearProgram.build(
+            [1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[2.0],
+            lb=[0.0, 0.0], ub=[2.0, 2.0], integrality=[1, 1],
+        )
+        assert structure_digest(lp) != structure_digest(lp.relaxed())
+        # values are not structure: digests ignore coefficient changes
+        assert structure_digest(_chain_lp(4.0)) == structure_digest(
+            _chain_lp(9.0, cost=5.0)
+        )
