@@ -1,0 +1,138 @@
+"""E-obs (engineering) — instrumentation overhead of `repro.obs`.
+
+Not a paper claim: pins the cost of the metrics/trace layer added
+across the engine.  Two complementary pins:
+
+* a **deterministic budget**: the measured per-operation cost of the
+  metric primitives, times a generous per-task operation count, must be
+  under 3% of the per-task solve floor of a stock sweep workload;
+* an **A/B batch comparison**: the same workload with the registry
+  enabled vs ``REGISTRY.disable()``-d, interleaved in pairs to cancel
+  machine drift, with the allowed margin widened by the *measured*
+  run-to-run noise of the disabled arm — a genuine >3% regression fails
+  either way, a noisy CI box does not produce false alarms.
+"""
+
+import gc
+import statistics
+import time
+
+from repro.engine import BatchRunner, build_sweep_tasks, default_grid
+from repro.obs import REGISTRY, MetricsRegistry, TaskTrace, render_prometheus
+
+#: The pin: instrumentation must cost < 3% of the uninstrumented run.
+OVERHEAD_LIMIT = 0.03
+
+#: Generous ceiling on metric operations the engine performs per task
+#: (counters, histogram observes, gauge moves, trace spans).  The real
+#: number is ~15; the pin holds even at 4x that.
+OPS_PER_TASK = 60
+
+
+def _workload():
+    return build_sweep_tasks([default_grid("busy")], limit=24)
+
+
+def _run_batch(tasks):
+    with BatchRunner(jobs=1) as runner:
+        results = list(runner.run_stream(tasks))
+    assert all(r.ok for r in results)
+
+
+def test_per_op_budget_is_under_3pct_of_task_floor(emit):
+    tasks = _workload()
+    _run_batch(tasks)  # warm imports and solver caches
+
+    # Floor of the per-task solve time (min over repeats).
+    per_task = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        _run_batch(tasks)
+        per_task = min(
+            per_task, (time.perf_counter() - start) / len(tasks)
+        )
+
+    # Measured cost of one counter-inc + histogram-observe + trace-span
+    # round through a live registry (the primitives the hot path uses).
+    reg = MetricsRegistry()
+    counter = reg.counter("bench_total", "bench", ("status",)).labels("ok")
+    histogram = reg.histogram("bench_seconds", "bench")
+    trace = TaskTrace(algorithm="bench")
+    rounds = 20_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        counter.inc()
+        histogram.observe(0.001)
+        trace.add_span("solving", 0.001)
+    per_op_round = (time.perf_counter() - start) / rounds
+    trace.spans.clear()
+
+    budget = OPS_PER_TASK / 3 * per_op_round  # OPS_PER_TASK single ops
+    overhead = budget / per_task
+    emit(
+        "obs per-op budget",
+        ["per-task floor", "per-op round", "budget", "overhead"],
+        [[f"{per_task * 1e3:.3f} ms", f"{per_op_round * 1e6:.2f} us",
+          f"{budget * 1e6:.1f} us", f"{overhead:.2%}"]],
+    )
+    assert overhead < OVERHEAD_LIMIT, (
+        f"{OPS_PER_TASK} metric ops cost {overhead:.2%} of a "
+        f"{per_task * 1e3:.2f} ms task (limit {OVERHEAD_LIMIT:.0%})"
+    )
+
+
+def test_batch_overhead_enabled_vs_disabled(emit):
+    tasks = _workload()
+    _run_batch(tasks)  # warm
+
+    pairs = 7
+    on_times, off_times = [], []
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(pairs):
+            for arm, sink in (("on", on_times), ("off", off_times)):
+                if arm == "on":
+                    REGISTRY.enable()
+                else:
+                    REGISTRY.disable()
+                start = time.perf_counter()
+                _run_batch(tasks)
+                sink.append(time.perf_counter() - start)
+    finally:
+        gc.enable()
+        REGISTRY.enable()
+
+    on_med = statistics.median(on_times)
+    off_med = statistics.median(off_times)
+    ratio = on_med / off_med
+    # Allowed margin: the 3% pin plus the disabled arm's own measured
+    # relative spread — a box whose *identical* runs differ by 8% cannot
+    # resolve a 3% effect, and must not fail the pin on noise.
+    spread = (max(off_times) - min(off_times)) / off_med
+    limit = 1.0 + OVERHEAD_LIMIT + spread / 2
+    emit(
+        "obs A/B overhead",
+        ["enabled med", "disabled med", "ratio", "noise spread", "limit"],
+        [[f"{on_med * 1e3:.1f} ms", f"{off_med * 1e3:.1f} ms",
+          f"{ratio:.4f}", f"{spread:.2%}", f"{limit:.4f}"]],
+    )
+    assert ratio < limit, (
+        f"enabled/disabled ratio {ratio:.4f} exceeds {limit:.4f} "
+        f"(3% pin + {spread / 2:.2%} measured noise allowance)"
+    )
+
+
+def test_render_throughput(benchmark):
+    # Rendering cost matters for scrape frequency, not the solve path;
+    # keep it on the books so a quadratic regression shows up.
+    reg = MetricsRegistry()
+    for i in range(20):
+        family = reg.counter(f"bench_{i}_total", "bench", ("k",))
+        for j in range(10):
+            family.labels(k=f"v{j}").inc(j)
+    hist = reg.histogram("bench_seconds", "bench", ("algo",))
+    for j in range(10):
+        hist.labels(algo=f"a{j}").observe(0.01 * j)
+    text = benchmark(render_prometheus, reg)
+    assert text.count("# TYPE") == 21

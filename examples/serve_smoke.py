@@ -11,7 +11,10 @@ client, and checks the serving contract end to end:
   at the tail (a pure-Python reference-simplex LP capped by its
   ``timeout``), the first JSONL line reaches the client seconds before
   the last one — finished results are never held back by a slow
-  neighbour.
+  neighbour;
+* ``GET /metrics`` scraped **mid-batch** answers well-formed Prometheus
+  exposition text showing the live stream (``repro_streams_in_flight``),
+  and ``GET /stats`` answers the same registry as JSON.
 
 CI runs this as the serving-smoke leg; it is also the minimal usage
 example for :mod:`repro.serve`.
@@ -22,6 +25,7 @@ import re
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -98,6 +102,75 @@ def check_incremental_streaming(client: ServeClient) -> None:
     )
 
 
+def check_metrics_scrape(client: ServeClient) -> None:
+    """``GET /metrics`` answers valid Prometheus text *during* a batch.
+
+    A batch with a deliberately slow tail keeps a stream open for
+    seconds; once its first JSONL line proves the batch is live, the
+    scrape must show ``repro_streams_in_flight >= 1`` and a well-formed
+    exposition (every line a ``# HELP``/``# TYPE`` comment or a
+    ``name[{labels}] value`` series with a parseable value).
+    """
+    big = SWEEP_GENERATORS["active"](100, 200, 3, 11)
+    requests = [
+        task_request(Instance.from_tuples([(0, 5, 2), (1, 7, 3)]),
+                     "active", 2, algorithm="minimal"),
+        task_request(big, "active", 3, algorithm="rounding",
+                     backend="reference", timeout=SLOW_TIMEOUT),
+    ]
+    arrivals: list[object] = []
+
+    def consume() -> None:
+        for result in client.batch(requests):
+            arrivals.append(result)
+
+    consumer = threading.Thread(target=consume)
+    consumer.start()
+    try:
+        deadline = time.monotonic() + 30
+        while not arrivals and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert arrivals, "batch produced no line within 30s"
+        text = client.metrics()
+    finally:
+        consumer.join(timeout=60)
+    assert not consumer.is_alive(), "batch consumer hung"
+
+    lines = text.splitlines()
+    assert lines, "empty exposition"
+    series_re = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (\S+)$"
+    )
+    seen: dict[str, float] = {}
+    for line in lines:
+        assert line and line == line.strip(), f"malformed line {line!r}"
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE ")), line
+            continue
+        match = series_re.match(line)
+        assert match, f"malformed series line {line!r}"
+        raw = match.group(2)
+        value = float("inf") if raw == "+Inf" else float(raw)
+        seen[line.split("{")[0].split(" ")[0]] = value
+    for needed in (
+        "repro_streams_in_flight",
+        "repro_tasks_total",
+        "repro_task_seconds_bucket",
+        "repro_cache_misses_total",
+    ):
+        assert needed in seen, f"required series {needed} missing"
+    assert seen["repro_streams_in_flight"] >= 1, (
+        "scrape overlapped a live batch; streams_in_flight must show it"
+    )
+
+    stats = client.stats()
+    assert stats["ok"] and "task_seconds" in stats, stats
+    print(
+        f"metrics     : {len(lines)} exposition lines scraped mid-batch, "
+        f"streams_in_flight={seen['repro_streams_in_flight']:g}"
+    )
+
+
 def main() -> None:
     instances = [
         Instance.from_tuples([(0, 4, 2), (1, 5, 3)]),
@@ -145,6 +218,7 @@ def main() -> None:
                   f"{health['cache']['hits']} cache hits")
 
             check_incremental_streaming(client)
+            check_metrics_scrape(client)
         finally:
             proc.terminate()
             proc.wait(timeout=10)

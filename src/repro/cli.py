@@ -26,6 +26,10 @@ Commands
 ``serve``
     HTTP/JSONL serving front end over the batch engine:
     ``python -m repro serve --port 8977 --jobs 4 --disk-budget 200M``
+``stats``
+    Query a running ``repro serve`` for its metrics digest
+    (``GET /stats``), or the raw Prometheus text with ``--raw``:
+    ``python -m repro stats --url http://127.0.0.1:8977``
 ``bounds``
     Print all lower bounds for a busy-time instance.
 ``experiments``
@@ -59,10 +63,13 @@ from .engine import (
     aggregate_table,
     backend_task_params,
     default_grid,
+    group_warm_stats,
     make_task,
     run_sweep,
+    warm_stats_table,
     write_results,
 )
+from .obs import EventLog, trace_spans
 from .instances import (
     PROBLEM_GENERATORS,
     SWEEP_GENERATORS,
@@ -181,6 +188,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+    p_sweep.add_argument(
+        "--obs-log",
+        default=None,
+        metavar="PATH",
+        help="append one structured JSON event per result (plus run "
+        "start/end) to this JSONL file",
+    )
 
     p_batch = sub.add_parser(
         "batch", help="solve many instance files through the engine"
@@ -214,6 +228,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p_batch.add_argument("--no-cache", action="store_true")
+    p_batch.add_argument(
+        "--obs-log",
+        default=None,
+        metavar="PATH",
+        help="append one structured JSON event per result (plus run "
+        "start/end) to this JSONL file",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="HTTP/JSONL serving front end over the batch engine"
@@ -255,6 +276,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="query a running repro serve for its metrics"
+    )
+    p_stats.add_argument(
+        "--url",
+        default="http://127.0.0.1:8977",
+        help="server base URL (default http://127.0.0.1:8977)",
+    )
+    p_stats.add_argument(
+        "--raw",
+        action="store_true",
+        help="print the raw Prometheus /metrics text instead of the "
+        "JSON /stats digest",
     )
 
     p_cache = sub.add_parser(
@@ -385,6 +421,23 @@ def _emit_jsonl(result) -> None:
     print(json.dumps(result.to_record(), sort_keys=True), flush=True)
 
 
+def _obs_event(result) -> dict:
+    """The ``--obs-log`` event fields for one task result."""
+    return {
+        "index": result.index,
+        "digest": result.digest[:12],
+        "problem": result.problem,
+        "algorithm": result.algorithm,
+        "g": result.g,
+        "ok": result.ok,
+        "objective": result.objective,
+        "cached": result.cached,
+        "elapsed": round(result.elapsed, 6),
+        "spans": trace_spans(result.metrics),
+        **({"error": result.error} if result.error else {}),
+    }
+
+
 def _cmd_sweep(args) -> int:
     problems = ("active", "busy") if args.problem == "both" else (args.problem,)
     generators = _split_csv(args.generators)
@@ -454,19 +507,52 @@ def _cmd_sweep(args) -> int:
     if not grids:
         raise ValueError("no grid cells match the requested filters")
 
-    outcome = run_sweep(
-        grids,
-        jobs=args.jobs,
-        cache=_make_cache(args),
-        base_seed=args.seed,
-        limit=args.limit,
-        on_result=_emit_jsonl if args.stream else None,
-    )
+    obs_log = EventLog(args.obs_log) if args.obs_log else None
+
+    def on_result(result):
+        if args.stream:
+            _emit_jsonl(result)
+        if obs_log is not None:
+            obs_log.emit("task_result", **_obs_event(result))
+
+    try:
+        if obs_log is not None:
+            obs_log.emit(
+                "sweep_start", jobs=args.jobs, problems=list(problems)
+            )
+        outcome = run_sweep(
+            grids,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            base_seed=args.seed,
+            limit=args.limit,
+            on_result=(
+                on_result if (args.stream or obs_log is not None) else None
+            ),
+        )
+        if obs_log is not None:
+            obs_log.emit(
+                "sweep_done",
+                tasks=len(outcome.results),
+                errors=outcome.errors,
+                cache_hits=outcome.cache_hits,
+                elapsed=round(outcome.elapsed, 6),
+            )
+    finally:
+        if obs_log is not None:
+            obs_log.close()
     written = write_results(outcome.results, args.out)
     # With --stream, stdout is a JSONL pipe; human-facing report lines
     # move to stderr so downstream parsers see records only.
     report = sys.stderr if args.stream else sys.stdout
     print(outcome.table, file=report)
+    warm_rows = group_warm_stats(outcome.results)
+    if warm_rows:
+        print(file=report)
+        print(
+            warm_stats_table(outcome.results, "warm starts by group"),
+            file=report,
+        )
     print(file=report)
     print(outcome.summary, file=report)
     print(f"results  : {written} records -> {args.out}", file=report)
@@ -504,13 +590,32 @@ def _cmd_batch(args) -> int:
                     timeout=args.timeout,
                 )
             )
-    with BatchRunner(jobs=args.jobs, cache=_make_cache(args)) as runner:
-        results = []
-        for result in runner.run_stream(tasks):
-            if args.stream:
-                _emit_jsonl(result)
-            results.append(result)
-        cache_hits = runner.last_cache_hits
+    obs_log = EventLog(args.obs_log) if args.obs_log else None
+    try:
+        if obs_log is not None:
+            obs_log.emit(
+                "batch_start", jobs=args.jobs, tasks=len(tasks)
+            )
+        with BatchRunner(jobs=args.jobs, cache=_make_cache(args)) as runner:
+            results = []
+            stream = runner.run_stream(tasks)
+            for result in stream:
+                if args.stream:
+                    _emit_jsonl(result)
+                if obs_log is not None:
+                    obs_log.emit("task_result", **_obs_event(result))
+                results.append(result)
+            cache_hits = stream.stats.cache_hits
+        if obs_log is not None:
+            obs_log.emit(
+                "batch_done",
+                tasks=len(results),
+                errors=sum(1 for r in results if not r.ok),
+                cache_hits=cache_hits,
+            )
+    finally:
+        if obs_log is not None:
+            obs_log.close()
     rows = [
         [
             r.meta.get("path", r.digest[:12]),
@@ -624,12 +729,24 @@ def _cmd_serve(args) -> int:
             f"timeout={args.timeout or 'none'}"
         )
         print(
-            "  endpoints: GET /algos, GET /healthz, POST /solve, POST /batch"
+            "  endpoints: GET /algos, GET /healthz, GET /metrics, "
+            "GET /stats, POST /solve, POST /batch"
         )
         sys.stdout.flush()
         server.serve_forever()
     finally:
         server.server_close()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .serve.client import ServeClient
+
+    client = ServeClient(args.url, http_timeout=10.0)
+    if args.raw:
+        sys.stdout.write(client.metrics())
+        return 0
+    print(json.dumps(client.stats(), indent=2, sort_keys=True))
     return 0
 
 
@@ -684,6 +801,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "batch": _cmd_batch,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "stats": _cmd_stats,
         "gadget": _cmd_gadget,
         "bounds": _cmd_bounds,
         "experiments": _cmd_experiments,

@@ -26,8 +26,15 @@ from .registry import (
     get_solver,
     solve,
 )
-from .results import aggregate, aggregate_table, read_results, write_results
-from .runner import BatchRunner
+from .results import (
+    aggregate,
+    aggregate_table,
+    group_warm_stats,
+    read_results,
+    warm_stats_table,
+    write_results,
+)
+from .runner import BatchRunner, ResultStream, StreamStats
 from .sweep import SweepGrid, build_sweep_tasks, default_grid, run_sweep
 from .workers import Task, TaskResult, TaskTimeout, execute_task, make_task
 
@@ -35,9 +42,11 @@ __all__ = [
     "BatchRunner",
     "REGISTRY",
     "ResultCache",
+    "ResultStream",
     "SolveOutcome",
     "SolverRegistry",
     "SolverSpec",
+    "StreamStats",
     "SweepGrid",
     "Task",
     "TaskResult",
@@ -50,11 +59,13 @@ __all__ = [
     "default_grid",
     "execute_task",
     "get_solver",
+    "group_warm_stats",
     "instance_digest",
     "make_task",
     "read_results",
     "run_sweep",
     "solve",
     "task_digest",
+    "warm_stats_table",
     "write_results",
 ]

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from ..core.jobs import Instance
+from ..obs import REGISTRY as OBS
 
 __all__ = [
     "canonical_task",
@@ -41,6 +42,25 @@ __all__ = [
     "task_digest",
     "ResultCache",
 ]
+
+_HITS = OBS.counter(
+    "repro_cache_hits_total",
+    "Result-cache hits, by which layer answered",
+    ("layer",),
+)
+_MISSES = OBS.counter(
+    "repro_cache_misses_total",
+    "Result-cache lookups that missed both layers",
+)
+_EVICTIONS = OBS.counter(
+    "repro_cache_evictions_total",
+    "Result-cache entries evicted, by layer",
+    ("layer",),
+)
+_COMPRESSED = OBS.counter(
+    "repro_cache_compressed_total",
+    "Result-cache records written gzip-compressed to disk",
+)
 
 
 def _canonical_jobs(instance: Instance) -> list[list[Any]]:
@@ -149,6 +169,10 @@ class ResultCache:
         self.misses = 0
         #: Disk entries evicted over this cache's lifetime.
         self.evictions = 0
+        #: Memory-LRU entries pushed out by ``maxsize``.
+        self.evictions_memory = 0
+        #: Records written gzip-compressed (over ``compress_threshold``).
+        self.compressed_records = 0
         # Running estimate of disk bytes, so `put` only pays a full
         # directory scan when the budget is actually threatened (the
         # estimate over-counts same-key overwrites, which merely makes
@@ -196,6 +220,7 @@ class ResultCache:
             if record is not None:
                 self._memory.move_to_end(key)
                 self.hits += 1
+                _HITS.labels(layer="memory").inc()
                 return copy.deepcopy(record)
         if self.directory is not None:
             record = path = None
@@ -216,11 +241,13 @@ class ResultCache:
                 with self._lock:
                     self._store_memory(key, record)
                     self.hits += 1
+                _HITS.labels(layer="disk").inc()
                 # ``record`` came fresh off disk and _store_memory keeps
                 # its own deep copy, so handing it out directly is safe.
                 return record
         with self._lock:
             self.misses += 1
+        _MISSES.inc()
         return None
 
     def put(self, key: str, record: Mapping[str, Any]) -> None:
@@ -240,6 +267,9 @@ class ResultCache:
             )
             if compress:
                 payload = gzip.compress(payload)
+                with self._lock:
+                    self.compressed_records += 1
+                _COMPRESSED.inc()
             path, stale = (packed, plain) if compress else (plain, packed)
             # Unique tmp name: concurrent runs sharing a cache directory
             # may put the same digest; a fixed tmp name would race.
@@ -269,6 +299,8 @@ class ResultCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.maxsize:
             self._memory.popitem(last=False)
+            self.evictions_memory += 1
+            _EVICTIONS.labels(layer="memory").inc()
 
     # ------------------------------------------------------------------
     # Disk accounting and eviction
@@ -329,6 +361,8 @@ class ResultCache:
         with self._lock:
             self.evictions += removed
             self._disk_estimate = total  # re-anchor the running estimate
+        if removed:
+            _EVICTIONS.labels(layer="disk").inc(removed)
         return {
             "removed": removed,
             "removed_bytes": removed_bytes,
@@ -339,13 +373,20 @@ class ResultCache:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters plus the in-memory size."""
+        """Hit/miss/eviction counters plus the in-memory size.
+
+        ``evictions`` (disk, the historical key) is kept alongside the
+        explicit ``evictions_disk`` alias so existing readers survive.
+        """
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "size": len(self._memory),
                 "evictions": self.evictions,
+                "evictions_disk": self.evictions,
+                "evictions_memory": self.evictions_memory,
+                "compressed_records": self.compressed_records,
             }
 
     def clear(self) -> None:

@@ -42,9 +42,12 @@ Design points:
 Thread safety: concurrent ``run_stream`` calls from different threads
 (the serving front end does this) share the persistent pools safely —
 the executor is guarded by a lock and watchdog workers are leased from
-a shared idle list.  The ``last_cache_hits`` / ``last_watchdog_kills``
-counters describe the most recent call and are only meaningful when
-calls do not overlap.
+a shared idle list.  Every stream carries its own :class:`StreamStats`
+(exposed as ``ResultStream.stats``), so concurrent streams never trample
+each other's counters; the runner-level ``last_cache_hits`` /
+``last_watchdog_kills`` attributes are kept as a convenience mirror of
+the *most recently finished* stream and are only meaningful when calls
+do not overlap.
 """
 
 from __future__ import annotations
@@ -59,14 +62,175 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as connection_wait
 from typing import Deque, Iterator, Sequence
 
+from ..obs import REGISTRY as OBS
 from .cache import ResultCache
 from .workers import Task, TaskResult, execute_task, failure_result, worker_loop
 
-__all__ = ["BatchRunner"]
+__all__ = ["BatchRunner", "ResultStream", "StreamStats"]
+
+_TASKS = OBS.counter(
+    "repro_tasks_total",
+    "Tasks completed, by terminal status",
+    ("status",),
+)
+_TASK_SECONDS = OBS.histogram(
+    "repro_task_seconds",
+    "End-to-end task latency (worker solve, excluding queue wait)",
+    ("backend", "algorithm"),
+)
+_QUEUE_WAIT = OBS.histogram(
+    "repro_queue_wait_seconds",
+    "Time tasks spent queued before dispatch to a worker",
+)
+_QUEUE_DEPTH = OBS.gauge(
+    "repro_queue_depth",
+    "Tasks queued and not yet dispatched, across all live streams",
+)
+_STREAMS = OBS.gauge(
+    "repro_streams_in_flight",
+    "run_stream calls currently active",
+)
+_STREAM_HITS = OBS.counter(
+    "repro_stream_cache_hits_total",
+    "Task results served from the result cache or in-run dedupe",
+)
+_LEASES = OBS.counter(
+    "repro_pool_leases_total",
+    "Watchdog workers leased to streams",
+)
+_STEALS = OBS.counter(
+    "repro_pool_steals_total",
+    "Structure-affine tasks stolen by a worker outside their group",
+)
+_KILLS = OBS.counter(
+    "repro_watchdog_kills_total",
+    "Worker processes terminated by the deadline watchdog",
+)
+
+
+class StreamStats:
+    """Counters and timing state owned by one ``run_stream`` call.
+
+    Each stream gets its own instance, so two streams running
+    concurrently (the serving front end) cannot trample each other the
+    way the old runner-level ``last_cache_hits`` attribute could.  All
+    methods are called from the single thread consuming the stream;
+    only the process-wide gauges they update are shared.
+    """
+
+    def __init__(self, total: int) -> None:
+        #: Total number of tasks this stream was asked to produce.
+        self.total = total
+        #: Results served from the cache or by in-run digest dedupe.
+        self.cache_hits = 0
+        #: Workers the deadline watchdog killed on this stream's behalf.
+        self.watchdog_kills = 0
+        #: Results that came back ``ok=False``.
+        self.failures = 0
+        #: Results that went through a worker (not cache) and finished.
+        self.completed = 0
+        self._lookup: dict[int, float] = {}   # pos -> cache-lookup secs
+        self._enqueued: dict[int, float] = {}  # pos -> enqueue perf time
+        self._waits: dict[int, float] = {}     # pos -> queue-wait secs
+        self._killed: set[int] = set()
+        self._open = False
+        self._finished = False
+
+    # -- planning/runtime hooks (single consumer thread) ----------------
+    def record_lookup(self, pos: int, dur: float) -> None:
+        self._lookup[pos] = dur
+
+    def record_hit(self) -> None:
+        self.cache_hits += 1
+        _STREAM_HITS.inc()
+
+    def enqueue(self, pos: int) -> None:
+        self._enqueued[pos] = time.perf_counter()
+        _QUEUE_DEPTH.inc()
+
+    def dispatch(self, pos: int) -> None:
+        start = self._enqueued.pop(pos, None)
+        if start is None:
+            return
+        self._waits[pos] = wait = time.perf_counter() - start
+        _QUEUE_WAIT.observe(wait)
+        _QUEUE_DEPTH.dec()
+
+    def record_kill(self, pos: int) -> None:
+        self.watchdog_kills += 1
+        self._killed.add(pos)
+        _KILLS.inc()
+
+    def was_killed(self, pos: int) -> bool:
+        return pos in self._killed
+
+    def take_wait(self, pos: int) -> float | None:
+        return self._waits.pop(pos, None)
+
+    def take_lookup(self, pos: int) -> float | None:
+        return self._lookup.pop(pos, None)
+
+    # -- lifecycle -------------------------------------------------------
+    def open(self) -> None:
+        if not self._open:
+            self._open = True
+            _STREAMS.inc()
+
+    def finish(self) -> None:
+        """Settle the process-wide gauges; idempotent."""
+        if self._finished:
+            return
+        self._finished = True
+        for _ in self._enqueued:
+            _QUEUE_DEPTH.dec()
+        self._enqueued.clear()
+        if self._open:
+            _STREAMS.dec()
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "completed": self.completed,
+            "failures": self.failures,
+            "watchdog_kills": self.watchdog_kills,
+        }
+
+
+class ResultStream:
+    """Iterator over a stream's results, carrying its :class:`StreamStats`.
+
+    Behaves exactly like the generator :meth:`BatchRunner.run_stream`
+    used to return (``for result in stream``, ``stream.close()``), plus
+    a ``stats`` attribute that is safe to read while the stream runs and
+    authoritative once it ends.
+    """
+
+    def __init__(self, gen: Iterator[TaskResult], stats: StreamStats) -> None:
+        self._gen = gen
+        self.stats = stats
+
+    def __iter__(self) -> "ResultStream":
+        return self
+
+    def __next__(self) -> TaskResult:
+        return next(self._gen)
+
+    def close(self) -> None:
+        try:
+            self._gen.close()
+        finally:
+            self.stats.finish()
+
+    def __del__(self) -> None:  # abandoned without close(): settle gauges
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 @dataclass
@@ -234,7 +398,7 @@ class BatchRunner:
         """
         return list(self.run_stream(tasks))
 
-    def run_stream(self, tasks: Sequence[Task]) -> Iterator[TaskResult]:
+    def run_stream(self, tasks: Sequence[Task]) -> ResultStream:
         """Yield results for ``tasks`` in task order, incrementally.
 
         Each result is yielded the moment it and every earlier task's
@@ -255,29 +419,44 @@ class BatchRunner:
         that stops pulling defers them until it resumes or closes the
         stream (the serving layer bounds this with a write-stall timeout
         that closes the stream).
+
+        The returned :class:`ResultStream` exposes per-stream counters
+        as ``.stats`` — the race-free replacement for the runner-level
+        ``last_cache_hits`` / ``last_watchdog_kills`` mirrors.
         """
         tasks = list(tasks)
-        self.last_cache_hits = 0
-        self.last_watchdog_kills = 0
+        stats = StreamStats(total=len(tasks))
         results: list[TaskResult | None] = [None] * len(tasks)
         work: Deque[tuple[int, Task]] = deque()
         first_by_digest: dict[str, int] = {}
         dups_by_first: dict[int, list[int]] = {}
 
         for pos, task in enumerate(tasks):
+            started = time.perf_counter()
             hit = self._cache_lookup(task)
+            lookup = time.perf_counter() - started
             if hit is not None:
-                results[pos] = hit
-                self.last_cache_hits += 1
+                results[pos] = self._mark_hit(hit, lookup)
+                stats.record_hit()
+                _TASKS.labels(status="cached").inc()
                 continue
+            stats.record_lookup(pos, lookup)
             first = first_by_digest.get(task.digest)
             if first is not None:
                 dups_by_first.setdefault(first, []).append(pos)
                 continue
             first_by_digest[task.digest] = pos
             work.append((pos, task))
+            stats.enqueue(pos)
 
-        return self._stream(tasks, results, work, dups_by_first)
+        # Convenience mirror for non-overlapping callers; updated again
+        # when the stream finishes (dup reuse also counts as a hit).
+        self.last_cache_hits = stats.cache_hits
+        self.last_watchdog_kills = 0
+        stats.open()
+        return ResultStream(
+            self._stream(tasks, results, work, dups_by_first, stats), stats
+        )
 
     # ------------------------------------------------------------------
     def _stream(
@@ -286,6 +465,7 @@ class BatchRunner:
         results: list[TaskResult | None],
         work: Deque[tuple[int, Task]],
         dups_by_first: dict[int, list[int]],
+        stats: StreamStats,
     ) -> Iterator[TaskResult]:
         """Drive a strategy's completion events into an ordered stream.
 
@@ -298,7 +478,7 @@ class BatchRunner:
         """
         emitted = 0
         total = len(tasks)
-        events = self._pick_strategy(tasks, work)(work)
+        events = self._pick_strategy(tasks, work)(work, stats)
         try:
             # Cache hits at the head of the list stream out immediately,
             # before the first solve completes.
@@ -311,24 +491,90 @@ class BatchRunner:
                         f"execution strategy produced a second result for "
                         f"task position {pos}; results would be misaligned"
                     )
+                result = self._finish_result(pos, result, stats)
                 results[pos] = result
                 self._cache_store(result)
                 for dup in dups_by_first.pop(pos, ()):
                     if result.ok:
                         results[dup] = self._reanchor(result, tasks[dup])
-                        self.last_cache_hits += 1
+                        stats.record_hit()
+                        _TASKS.labels(status="cached").inc()
                     else:
                         work.append((dup, tasks[dup]))
+                        stats.enqueue(dup)
                 while emitted < total and results[emitted] is not None:
                     yield results[emitted]
                     emitted += 1
         finally:
             events.close()
+            stats.finish()
+            self.last_cache_hits = stats.cache_hits
+            self.last_watchdog_kills = stats.watchdog_kills
         if emitted < total:
             # A strategy lost track of a task (worker died in a way no
             # handler caught): positioned failures, never dropped slots.
             for sealed in self._sealed(results, tasks)[emitted:]:
                 yield sealed
+
+    @staticmethod
+    def _mark_hit(result: TaskResult, lookup: float) -> TaskResult:
+        """Attach a minimal trace to a planning-time cache hit."""
+        metrics = dict(result.metrics)
+        metrics["trace"] = {
+            "labels": {"algorithm": result.algorithm, "cached": True},
+            "spans": [{"name": "cache_lookup", "dur": round(lookup, 6)}],
+        }
+        return replace(result, metrics=metrics)
+
+    @staticmethod
+    def _finish_result(
+        pos: int, result: TaskResult, stats: StreamStats
+    ) -> TaskResult:
+        """Account one completed solve and fold parent-side trace spans.
+
+        The worker only knows about the ``solving`` span; the parent
+        owns the queue, so ``cache_lookup`` / ``queued`` / ``total``
+        (and the ``watchdog_kill`` label) are merged here, where the
+        result comes home.
+        """
+        wait = stats.take_wait(pos)
+        lookup = stats.take_lookup(pos)
+        killed = stats.was_killed(pos)
+        stats.completed += 1
+        if not result.ok:
+            stats.failures += 1
+
+        metrics = dict(result.metrics)
+        payload = metrics.get("trace") or {}
+        labels = dict(payload.get("labels") or {})
+        labels.setdefault("algorithm", result.algorithm)
+        labels["watchdog_kill"] = killed
+        spans: list[dict] = []
+        if lookup is not None:
+            spans.append({"name": "cache_lookup", "dur": round(lookup, 6)})
+        if wait is not None:
+            spans.append({"name": "queued", "dur": round(wait, 6)})
+        spans.extend(payload.get("spans") or ())
+        spans.append({
+            "name": "total",
+            "dur": round(result.elapsed + (wait or 0.0) + (lookup or 0.0), 6),
+        })
+        metrics["trace"] = {"labels": labels, "spans": spans}
+
+        if killed:
+            status = "killed"
+        elif result.ok:
+            status = "ok"
+        elif result.error and "timed out" in result.error:
+            status = "timeout"
+        else:
+            status = "error"
+        _TASKS.labels(status=status).inc()
+        _TASK_SECONDS.labels(
+            backend=metrics.get("backend", "none"),
+            algorithm=result.algorithm,
+        ).observe(result.elapsed)
+        return replace(result, metrics=metrics)
 
     def _pick_strategy(
         self, tasks: Sequence[Task], work: Sequence[tuple[int, Task]]
@@ -389,17 +635,18 @@ class BatchRunner:
     # Serial strategy (jobs=1, or a single pending task)
     # ------------------------------------------------------------------
     def _stream_serial(
-        self, work: Deque[tuple[int, Task]]
+        self, work: Deque[tuple[int, Task]], stats: StreamStats
     ) -> Iterator[tuple[int, TaskResult]]:
         while work:
             pos, task = work.popleft()
+            stats.dispatch(pos)
             yield pos, execute_task(task)
 
     # ------------------------------------------------------------------
     # Plain process pool (parallel, no deadlines)
     # ------------------------------------------------------------------
     def _stream_parallel(
-        self, work: Deque[tuple[int, Task]]
+        self, work: Deque[tuple[int, Task]], stats: StreamStats
     ) -> Iterator[tuple[int, TaskResult]]:
         """Fan tasks out to the persistent pool, yielding completions.
 
@@ -416,6 +663,7 @@ class BatchRunner:
             while work or futures:
                 while work and len(futures) < self.jobs:
                     pos, task = work.popleft()
+                    stats.dispatch(pos)
                     futures[self._submit(task)] = (pos, task)
                 done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
                 for future in done:
@@ -436,6 +684,7 @@ class BatchRunner:
                             # spurious failure in this stream's results.
                             requeued.add(pos)
                             work.append((pos, task))
+                            stats.enqueue(pos)
                             continue
                         result = failure_result(
                             task,
@@ -497,7 +746,7 @@ class BatchRunner:
     # Watchdog pool (used whenever any pending task carries a timeout)
     # ------------------------------------------------------------------
     def _stream_watchdog(
-        self, work: Deque[tuple[int, Task]]
+        self, work: Deque[tuple[int, Task]], stats: StreamStats
     ) -> Iterator[tuple[int, TaskResult]]:
         """Run tasks on leased dedicated workers, killing any that overrun.
 
@@ -556,6 +805,7 @@ class BatchRunner:
                         pos, task = self._take_task(
                             work, worker, affinity, held
                         )
+                        stats.dispatch(pos)
                         try:
                             worker.dispatch(pos, task, self.watchdog_grace)
                         except (BrokenPipeError, OSError):
@@ -610,7 +860,7 @@ class BatchRunner:
                     ):
                         pos, task = worker.pos, worker.task
                         elapsed = now - worker.started
-                        self.last_watchdog_kills += 1
+                        stats.record_kill(pos)
                         held[held.index(worker)] = worker.replace(ctx)
                         yield pos, failure_result(
                             task,
@@ -660,6 +910,10 @@ class BatchRunner:
                 break
             if fallback is None and not any(w is bound for w in held):
                 fallback = i
+        if own is None and fallback is None:
+            # Queue head belongs to another held worker's group — a
+            # work-conserving steal that rebinds the group.
+            _STEALS.inc()
         index = own if own is not None else (
             fallback if fallback is not None else 0
         )
@@ -707,6 +961,8 @@ class BatchRunner:
                 self._wd_release(acquired)
                 raise
             if acquired or not block:
+                if acquired:
+                    _LEASES.inc(len(acquired))
                 return acquired
             with self._wd_cond:
                 # Advertise that this stream is starved so current
@@ -756,7 +1012,15 @@ class BatchRunner:
 
     @staticmethod
     def _reanchor(result: TaskResult, task: Task) -> TaskResult:
-        """A reused result re-anchored to this task's position/provenance."""
+        """A reused result re-anchored to this task's position/provenance.
+
+        ``metrics`` is copied (and the original's trace dropped) so the
+        reused record never aliases the original's dict — a consumer
+        mutating one must not corrupt the other, and the original's
+        queue/solve spans describe *its* execution, not this reuse.
+        """
+        metrics = dict(result.metrics)
+        metrics.pop("trace", None)
         return TaskResult(
             index=task.index,
             digest=result.digest,
@@ -766,7 +1030,7 @@ class BatchRunner:
             n=result.n,
             ok=result.ok,
             objective=result.objective,
-            metrics=result.metrics,
+            metrics=metrics,
             error=result.error,
             elapsed=result.elapsed,
             cached=True,
@@ -777,4 +1041,11 @@ class BatchRunner:
         # Failures are not cached: a timeout or transient error should be
         # retried on the next run rather than pinned forever.
         if self.cache is not None and result.ok:
-            self.cache.put(result.digest, result.to_record())
+            record = result.to_record()
+            # The trace describes one specific execution (queue waits,
+            # this process's pool) — replaying it on a future cache hit
+            # would be a lie, so cached records carry no trace.
+            metrics = dict(record.get("metrics") or {})
+            metrics.pop("trace", None)
+            record["metrics"] = metrics
+            self.cache.put(result.digest, record)

@@ -254,11 +254,12 @@ def run_sweep(
     results: list[TaskResult] = []
     start = time.perf_counter()
     with BatchRunner(jobs=jobs, cache=cache) as runner:
-        for result in runner.run_stream(tasks):
+        stream = runner.run_stream(tasks)
+        for result in stream:
             if on_result is not None:
                 on_result(result)
             results.append(result)
-        cache_hits = runner.last_cache_hits
+        cache_hits = stream.stats.cache_hits
     elapsed = time.perf_counter() - start
     return SweepOutcome(
         tasks=tasks,

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from ..core.jobs import Instance
+from ..obs import TaskTrace
+from ..solvers.registry import capture_solves
 from .cache import task_digest
 from .registry import REGISTRY
 
@@ -201,12 +203,23 @@ def _error_context(task: Task) -> str:
     )
 
 
-def failure_result(task: Task, error: str, elapsed: float) -> TaskResult:
+def failure_result(
+    task: Task,
+    error: str,
+    elapsed: float,
+    *,
+    trace: TaskTrace | None = None,
+) -> TaskResult:
     """A failed :class:`TaskResult` for ``task`` with full error context.
 
     Used by the worker for in-process failures and by the parent-side
-    watchdog for tasks whose worker had to be killed.
+    watchdog for tasks whose worker had to be killed.  ``trace`` — when
+    the caller has one — rides home in ``metrics["trace"]`` so failed
+    tasks explain where their time went too.
     """
+    metrics: dict[str, Any] = {}
+    if trace is not None:
+        metrics["trace"] = trace.to_payload()
     return TaskResult(
         index=task.index,
         digest=task.digest,
@@ -215,6 +228,7 @@ def failure_result(task: Task, error: str, elapsed: float) -> TaskResult:
         g=task.g,
         n=task.instance.n,
         ok=False,
+        metrics=metrics,
         error=f"{_error_context(task)}: {error}",
         elapsed=elapsed,
         meta=task.meta,
@@ -262,23 +276,43 @@ def execute_task(task: Task) -> TaskResult:
     ``KeyboardInterrupt`` is deliberately *not* captured — it must
     propagate so pool shutdown works.
     """
+    trace = TaskTrace(
+        algorithm=task.algorithm,
+        problem=task.problem,
+        structure_group=task.structure_group,
+    )
     start = time.perf_counter()
     try:
-        with _alarm(task.timeout):
-            outcome = REGISTRY.solve(
-                task.problem,
-                task.algorithm,
-                task.instance,
-                task.g,
-                **task.params,
-            )
+        with _alarm(task.timeout), capture_solves() as solves:
+            with trace.span("solving"):
+                outcome = REGISTRY.solve(
+                    task.problem,
+                    task.algorithm,
+                    task.instance,
+                    task.g,
+                    **task.params,
+                )
     except KeyboardInterrupt:
         raise
     except TaskTimeout as exc:
-        return failure_result(task, str(exc), time.perf_counter() - start)
+        trace.label(status="timeout")
+        return failure_result(
+            task, str(exc), time.perf_counter() - start, trace=trace
+        )
     except Exception as exc:
         detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
-        return failure_result(task, detail, time.perf_counter() - start)
+        trace.label(status="error")
+        return failure_result(
+            task, detail, time.perf_counter() - start, trace=trace
+        )
+    metrics = dict(outcome.metrics)
+    metrics.update(_solve_facts(solves))
+    trace.label(status="ok", **{
+        k: metrics[k]
+        for k in ("backend", "warm_start_used", "structure_hit")
+        if k in metrics
+    })
+    metrics["trace"] = trace.to_payload()
     return TaskResult(
         index=task.index,
         digest=task.digest,
@@ -288,7 +322,23 @@ def execute_task(task: Task) -> TaskResult:
         n=task.instance.n,
         ok=True,
         objective=outcome.objective,
-        metrics=dict(outcome.metrics),
+        metrics=metrics,
         elapsed=time.perf_counter() - start,
         meta=task.meta,
     )
+
+
+def _solve_facts(solves: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold the captured backend-solve events into result metrics.
+
+    An algorithm may issue several backend solves per task (e.g. an LP
+    relaxation then a MILP); the task counts as warm/structure-hit if
+    *any* of them were, and the backend label is the last one used.
+    """
+    if not solves:
+        return {}
+    return {
+        "backend": solves[-1]["backend"],
+        "warm_start_used": any(e["warm_start_used"] for e in solves),
+        "structure_hit": any(e["structure_hit"] for e in solves),
+    }

@@ -1,0 +1,67 @@
+"""Structured JSONL event log — the CLI's ``--obs-log`` sink.
+
+One JSON object per line, each stamped with a wall-clock ``ts`` and an
+``event`` name; everything else is caller-provided fields.  Writes are
+locked and flushed per event so a concurrent reader (``tail -f``, a log
+shipper) sees complete lines the moment they happen, and a crashed run
+keeps every event up to the crash.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Append structured events to a JSONL file (or any text stream).
+
+    Parameters
+    ----------
+    target:
+        A path (opened in append mode, parents created) or an already
+        open text stream (not closed by :meth:`close` — the caller owns
+        it; ``sys.stderr`` is a legitimate target).
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        self._lock = threading.Lock()
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh: IO[str] = path.open("a")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._closed = False
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line; non-serializable values become ``repr``."""
+        record = {"ts": round(time.time(), 6), "event": event, **fields}
+        line = json.dumps(record, sort_keys=True, default=repr)
+        with self._lock:
+            if self._closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._owns:
+                self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,83 @@
+"""Prometheus text-exposition renderer (format version 0.0.4).
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` into the plain
+text format scraped by Prometheus and read by humans over ``curl``:
+``# HELP`` / ``# TYPE`` headers per family, one ``name{labels} value``
+line per series, cumulative ``_bucket``/``_sum``/``_count`` triples for
+histograms.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .metrics import MetricsRegistry
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: The Content-Type a ``/metrics`` endpoint should answer with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_block(labels: dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full exposition text for ``registry``, trailing newline included."""
+    lines: list[str] = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.children():
+            block = _label_block(labels)
+            if family.kind == "histogram":
+                counts, total_sum, count = child.snapshot()
+                cumulative = 0
+                for edge, n in zip(family.buckets, counts):
+                    cumulative += n
+                    le = _label_block(
+                        labels, f'le="{_format_value(edge)}"'
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{le} {cumulative}"
+                    )
+                cumulative += counts[-1]
+                inf = _label_block(labels, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{inf} {cumulative}")
+                lines.append(
+                    f"{family.name}_sum{block} {_format_value(total_sum)}"
+                )
+                lines.append(f"{family.name}_count{block} {count}")
+            else:
+                lines.append(
+                    f"{family.name}{block} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -137,6 +137,16 @@ class ServeClient:
         """Liveness and cache statistics (``GET /healthz``)."""
         return self._get_json("/healthz")
 
+    def stats(self) -> dict[str, Any]:
+        """The server's metrics digest as JSON (``GET /stats``)."""
+        return self._get_json("/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text (``GET /metrics``)."""
+        with self._open("GET", "/metrics") as response, \
+                self._reading("/metrics"):
+            return response.read().decode("utf-8")
+
     def solve(
         self,
         instance: Instance,

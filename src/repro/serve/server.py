@@ -15,6 +15,14 @@ Endpoints
     prints).
 ``GET /healthz``
     Liveness plus cache statistics.
+``GET /metrics``
+    The process metrics registry in Prometheus text-exposition format
+    (task latency and queue-wait histograms, cache counters, warm-start
+    gauges, in-flight stream gauge — see the README's metrics catalog).
+``GET /stats``
+    The same registry digested to JSON for humans and dashboards that
+    do not speak Prometheus: queue depth, in-flight streams, per-backend
+    latency quantiles, cache and HiGHS re-solve statistics.
 ``POST /solve``
     One task as a JSON object (``instance``/``problem``/``algorithm``/
     ``g``/``params``/``backend``/``timeout``/``meta``); answers the
@@ -48,7 +56,10 @@ from ..engine import BatchRunner, ResultCache, backend_task_params, make_task
 from ..engine.registry import PROBLEMS, REGISTRY
 from ..engine.workers import Task, TaskResult
 from ..io import instance_from_payload
+from ..obs import REGISTRY as OBS
+from ..obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE, render_prometheus
 from ..solvers import backend_names, backend_status, resolve_backend
+from ..solvers.registry import get_backend
 
 __all__ = [
     "DEFAULT_PORT",
@@ -210,6 +221,36 @@ def parse_task_request(
     )
 
 
+def _histogram_summaries(
+    name: str, key_labels: Sequence[str]
+) -> dict[str, dict[str, float]]:
+    """Quantile digests per labeled series of one histogram family.
+
+    Series are keyed ``label1/label2`` (``"all"`` for an unlabeled
+    histogram); a family not registered yet answers ``{}``.
+    """
+    family = OBS.get(name)
+    if family is None:
+        return {}
+    return {
+        "/".join(labels[k] for k in key_labels) or "all": child.summary()
+        for labels, child in family.children()
+    }
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace NaN/inf floats with ``None`` so the JSON is standard."""
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, float) and (
+        value != value or value in (float("inf"), float("-inf"))
+    ):
+        return None
+    return value
+
+
 class ServeApp:
     """Server-side state shared by every request: runner + cache + defaults.
 
@@ -280,6 +321,43 @@ class ServeApp:
             "cache": self.cache.stats,
         }
 
+    def stats_payload(self) -> dict[str, Any]:
+        """The ``GET /stats`` body: the metrics registry digested to JSON.
+
+        Everything here is also on ``/metrics`` in Prometheus form; this
+        is the human/dashboard view — current queue depth and in-flight
+        streams, per-status task counts, latency quantiles per backend,
+        cache and HiGHS re-solve statistics.
+        """
+        tasks: dict[str, float] = {}
+        family = OBS.get("repro_tasks_total")
+        if family is not None:
+            tasks = {
+                labels["status"]: child.value
+                for labels, child in family.children()
+            }
+        payload = {
+            "ok": True,
+            "jobs": self.runner.jobs,
+            "batches_served": self.batches_served,
+            "tasks_served": self.tasks_served,
+            "queue_depth": OBS.value("repro_queue_depth"),
+            "streams_in_flight": OBS.value("repro_streams_in_flight"),
+            "tasks": tasks,
+            "queue_wait_seconds": _histogram_summaries(
+                "repro_queue_wait_seconds", ()
+            ),
+            "task_seconds": _histogram_summaries(
+                "repro_task_seconds", ("backend", "algorithm")
+            ),
+            "backend_solve_seconds": _histogram_summaries(
+                "repro_backend_solve_seconds", ("backend", "kind")
+            ),
+            "cache": self.cache.stats,
+            "highs_resolve": get_backend("highs").resolve_stats(),
+        }
+        return _json_safe(payload)
+
     # ------------------------------------------------------------------
     def solve_one(self, task: Task) -> TaskResult:
         """Run one task through the shared runner/cache."""
@@ -299,12 +377,16 @@ class ServeApp:
         disconnected client closing this generator) still counts and the
         served-task tally stays consistent with what actually ran.
         """
+        stream = self.runner.run_stream(tasks)
         try:
-            for result in self.runner.run_stream(tasks):
+            for result in stream:
                 with self._counter_lock:
                     self.tasks_served += 1
                 yield result
         finally:
+            # Deterministic teardown on abandonment: closing the stream
+            # cancels undispatched tasks and settles its gauges.
+            stream.close()
             with self._counter_lock:
                 self.batches_served += 1
 
@@ -330,6 +412,15 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.app.algos_payload())
         elif path in ("/healthz", "/health"):
             self._send_json(200, self.app.health_payload())
+        elif path == "/metrics":
+            body = render_prometheus(OBS).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROM_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/stats":
+            self._send_json(200, self.app.stats_payload())
         else:
             self._send_error(404, self._unknown_path(path))
 
@@ -349,7 +440,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
     def _unknown_path(path: str) -> str:
         return (
             f"unknown path {path!r}; endpoints: GET /algos, GET /healthz, "
-            "POST /solve, POST /batch"
+            "GET /metrics, GET /stats, POST /solve, POST /batch"
         )
 
     # ------------------------------------------------------------------

@@ -217,6 +217,10 @@ class HighsBackend:
         self.resolve_hits = 0
         #: Cold builds (first sight of a structure, or post-eviction).
         self.resolve_misses = 0
+        #: Solves that actually reused a basis/incumbent warm start.
+        self.warm_starts = 0
+        #: MILP re-solves skipped via the LP-relaxation bound probe.
+        self.bound_probe_skips = 0
 
     def capabilities(self) -> frozenset[str]:
         return frozenset(
@@ -236,12 +240,20 @@ class HighsBackend:
 
     # ------------------------------------------------------------------
     def resolve_stats(self) -> dict[str, int]:
-        """Resolve-cache counters plus the resident-model count."""
+        """Resolve-cache counters plus the resident-model count.
+
+        ``hits``/``misses`` count structure lookups; ``warm_starts``
+        counts solves that actually reused a basis or incumbent;
+        ``bound_probe_skips`` counts MILP re-solves proven optimal by
+        the resident LP-relaxation bound and skipped outright.
+        """
         with self._lock:
             return {
                 "hits": self.resolve_hits,
                 "misses": self.resolve_misses,
                 "resident": len(self._models),
+                "warm_starts": self.warm_starts,
+                "bound_probe_skips": self.bound_probe_skips,
             }
 
     def clear_resident(self) -> None:
@@ -457,6 +469,9 @@ class HighsBackend:
             proven = self._incumbent_shortcut(resident, lp, start)
             if proven is not None:
                 resident.solves += 1
+                with self._lock:
+                    self.warm_starts += 1
+                    self.bound_probe_skips += 1
                 return proven
         # Resident instances retain options between solves, so the time
         # limit must be (re)set every call — including back to infinity.
@@ -473,12 +488,18 @@ class HighsBackend:
         start_x = warm
         if start_x is None and mode == "warm" and resident.last_x is not None:
             start_x = resident.last_x
+        warm_used = False
         if resident.is_milp and start_x is not None:
             solution = _hs.HighsSolution()
             solution.col_value = np.asarray(start_x, dtype=float)
             h.setSolution(solution)
+            warm_used = True
         elif mode == "warm" and resident.basis is not None:
             h.setBasis(resident.basis)
+            warm_used = True
+        if warm_used:
+            with self._lock:
+                self.warm_starts += 1
 
         h.run()
         model_status = h.getModelStatus()
@@ -497,6 +518,8 @@ class HighsBackend:
         extra: dict[str, Any] = {
             "resolve": mode,
             "structure": resident.digest[:16],
+            "structure_hit": mode != "cold",
+            "warm_start_used": warm_used,
             "highs_source": _SOURCE,
         }
         info = h.getInfo()
@@ -599,6 +622,9 @@ class HighsBackend:
                 "resolve": "warm",
                 "shortcut": "incumbent-bound",
                 "structure": resident.digest[:16],
+                "structure_hit": True,
+                "warm_start_used": True,
+                "bound_probe_skip": True,
                 "highs_source": _SOURCE,
                 "simplex_iterations": int(info.simplex_iteration_count),
                 "mip_nodes": 0,

@@ -15,10 +15,13 @@ fail loudly instead of silently running a different solver.
 from __future__ import annotations
 
 import os
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import replace
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
+from ..obs import REGISTRY as OBS
 from .base import SolverBackend, SolverResult
 from .highs_backend import HighsBackend
 from .ir import LinearProgram
@@ -33,11 +36,48 @@ __all__ = [
     "backend_menu",
     "backend_names",
     "backend_status",
+    "capture_solves",
     "get_backend",
     "register_backend",
     "resolve_backend",
     "solve_ir",
 ]
+
+#: Latency of every backend ``solve()`` routed through :func:`solve_ir`,
+#: labeled by the backend that ran and the program kind it was handed.
+_BACKEND_SECONDS = OBS.histogram(
+    "repro_backend_solve_seconds",
+    "LP/MILP backend solve latency via solve_ir",
+    ("backend", "kind"),
+)
+_BACKEND_SOLVES = OBS.counter(
+    "repro_backend_solves_total",
+    "Backend solves by terminal status",
+    ("backend", "status"),
+)
+
+# Per-thread capture channel: the engine's task executor opens it around
+# a solve so per-backend facts (who ran, warm or cold) ride home in the
+# task's trace even though the algorithm adapters between them don't
+# pass SolverResult.extra through.
+_CAPTURE = threading.local()
+
+
+@contextmanager
+def capture_solves() -> Iterator[list[dict[str, Any]]]:
+    """Collect one event dict per :func:`solve_ir` call in this thread.
+
+    Each event carries ``backend``/``kind``/``status``/``elapsed`` plus
+    the warm-start facts a resolve-capable backend tags onto
+    ``SolverResult.extra`` (``warm_start_used``, ``structure_hit``).
+    Nested captures stack: the inner scope sees only its own solves.
+    """
+    previous = getattr(_CAPTURE, "events", None)
+    _CAPTURE.events = events = []
+    try:
+        yield events
+    finally:
+        _CAPTURE.events = previous
 
 #: Environment variable consulted when no explicit backend is requested.
 BACKEND_ENV_VAR = "REPRO_LP_BACKEND"
@@ -196,8 +236,25 @@ def solve_ir(
     chosen = resolve_backend(backend, require={lp.required_capability})
     start = time.perf_counter()
     result = chosen.solve(lp, time_limit=time_limit, options=options)
+    elapsed = time.perf_counter() - start
     if result.elapsed == 0.0:  # backend didn't time itself
-        result = replace(result, elapsed=time.perf_counter() - start)
+        result = replace(result, elapsed=elapsed)
+    kind = lp.required_capability
+    _BACKEND_SECONDS.labels(backend=chosen.name, kind=kind).observe(elapsed)
+    _BACKEND_SOLVES.labels(backend=chosen.name, status=result.status).inc()
+    events = getattr(_CAPTURE, "events", None)
+    if events is not None:
+        extra = result.extra or {}
+        events.append(
+            {
+                "backend": chosen.name,
+                "kind": kind,
+                "status": result.status,
+                "elapsed": elapsed,
+                "warm_start_used": bool(extra.get("warm_start_used")),
+                "structure_hit": bool(extra.get("structure_hit")),
+            }
+        )
     return result
 
 
@@ -208,3 +265,22 @@ register_backend(ScipyHighsBackend())
 register_backend(HighsBackend())
 register_backend(PythonMipBackend())
 register_backend(ReferenceBackend())
+
+
+def _register_highs_gauges() -> None:
+    # Collect-time callbacks: resolve_stats() is read when /metrics is
+    # scraped, so the gauges never lag the backend's own counters.
+    gauge = OBS.gauge(
+        "repro_highs_resolve",
+        "Resident-model HiGHS re-solve statistics",
+        ("stat",),
+    )
+    backend = _BACKENDS["highs"]
+    for stat in ("hits", "misses", "resident", "warm_starts",
+                 "bound_probe_skips"):
+        gauge.labels(stat=stat).set_function(
+            lambda s=stat: float(backend.resolve_stats().get(s, 0))
+        )
+
+
+_register_highs_gauges()

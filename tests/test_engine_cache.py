@@ -55,6 +55,8 @@ class TestMemoryLayer:
         assert cache.get("k") == {"objective": 1.0}
         assert cache.stats == {
             "hits": 1, "misses": 1, "size": 1, "evictions": 0,
+            "evictions_disk": 0, "evictions_memory": 0,
+            "compressed_records": 0,
         }
 
     def test_lru_eviction(self):
@@ -328,3 +330,47 @@ class TestGzipCompression:
     def test_rejects_negative_threshold(self, tmp_path):
         with pytest.raises(ValueError, match="compress_threshold"):
             ResultCache(directory=tmp_path, compress_threshold=-1)
+
+
+class TestEvictionCounters:
+    """Satellite: `stats` distinguishes memory/disk evictions and
+    compressed writes, under forced pressure."""
+
+    def test_memory_eviction_counter(self):
+        cache = ResultCache(maxsize=2)
+        for i in range(5):
+            cache.put(f"key-{i}", {"objective": float(i)})
+        stats = cache.stats
+        assert stats["evictions_memory"] == 3
+        assert stats["size"] == 2
+        assert stats["evictions_disk"] == 0
+
+    def test_disk_eviction_counter(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, disk_budget=600)
+        for i in range(9):
+            cache.put(f"key-{i}", {"objective": float(i), "pad": "x" * 64})
+        stats = cache.stats
+        assert stats["evictions_disk"] > 0
+        assert stats["evictions_disk"] == cache.evictions
+        # legacy alias keeps old readers working
+        assert stats["evictions"] == stats["evictions_disk"]
+
+    def test_compressed_records_counter(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, compress_threshold=128)
+        cache.put("small", {"objective": 1.0})
+        cache.put("large", {"objective": 2.0, "pad": "x" * 1024})
+        stats = cache.stats
+        assert stats["compressed_records"] == 1
+        assert (tmp_path / "large.json.gz").exists()
+        assert (tmp_path / "small.json").exists()
+        # compressed entries read back identically
+        assert cache.get("large")["pad"] == "x" * 1024
+
+    def test_counters_survive_clear(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, maxsize=1)
+        cache.put("a", {"objective": 1.0})
+        cache.put("b", {"objective": 2.0})
+        assert cache.evictions_memory == 1
+        cache.clear()
+        # clear drops entries, not lifetime counters
+        assert cache.stats["evictions_memory"] == 1

@@ -79,7 +79,12 @@ def dying_solver():
 
 
 def _strip(result):
-    return {**result.to_record(), "elapsed": 0.0}
+    record = {**result.to_record(), "elapsed": 0.0}
+    # trace spans are timings; stream/run parity holds "modulo timings"
+    metrics = dict(record["metrics"])
+    metrics.pop("trace", None)
+    record["metrics"] = metrics
+    return record
 
 
 class TestStreamParity:
@@ -382,3 +387,104 @@ class TestBrokenPool:
                 _tasks(small_instances, g=3)
             )
             assert all(r.ok for r in again)
+
+
+class TestPerStreamStats:
+    """Satellite: counters are per-stream, not racy runner attributes."""
+
+    def test_stream_exposes_stats_object(self, small_instances):
+        tasks = _tasks(small_instances)
+        with BatchRunner(jobs=1) as runner:
+            stream = runner.run_stream(tasks)
+            results = list(stream)
+        assert all(r.ok for r in results)
+        stats = stream.stats.as_dict()
+        assert stats["total"] == len(tasks)
+        assert stats["cache_hits"] == 0
+        assert stats["watchdog_kills"] == 0
+
+    def test_concurrent_streams_keep_counts_separate(self, small_instances):
+        # Two streams share one runner and one cache: stream A re-runs
+        # previously cached tasks (every result a hit), stream B solves
+        # fresh ones (zero hits).  With the old runner-level
+        # ``last_cache_hits`` attribute the two consumers raced and one
+        # stream read the other's count; per-stream stats must not.
+        cache = ResultCache()
+        hot = _tasks(small_instances)
+        cold = _tasks(small_instances, g=3)
+        with BatchRunner(jobs=1, cache=cache) as runner:
+            runner.run(hot)  # prime the cache for stream A only
+
+            streams = {}
+            errors = []
+            barrier = threading.Barrier(2)
+
+            def consume(label, tasks):
+                try:
+                    barrier.wait(timeout=10)
+                    stream = runner.run_stream(tasks)
+                    list(stream)
+                    streams[label] = stream
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=consume, args=("hot", hot)),
+                threading.Thread(target=consume, args=("cold", cold)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            assert streams["hot"].stats.cache_hits == len(hot)
+            assert streams["cold"].stats.cache_hits == 0
+            # the legacy mirror still answers, with whichever stream
+            # finished last -- a sanity check, not a contract
+            assert runner.last_cache_hits in (0, len(hot))
+
+    def test_duplicate_reuse_counts_as_stream_hit(self, small_instances):
+        tasks = _tasks(small_instances + [small_instances[0]])
+        with BatchRunner(jobs=1) as runner:
+            stream = runner.run_stream(tasks)
+            results = list(stream)
+        assert results[4].cached
+        assert stream.stats.cache_hits == 1
+
+
+class TestTraceSpans:
+    """Traces ride home inside ``TaskResult.metrics["trace"]``."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_results_carry_spans_and_labels(self, small_instances, jobs):
+        from repro.obs import trace_labels, trace_spans
+
+        tasks = _tasks(small_instances)
+        with BatchRunner(jobs=jobs) as runner:
+            results = list(runner.run_stream(tasks))
+        for result in results:
+            spans = trace_spans(result.metrics)
+            for name in ("queued", "solving", "total"):
+                assert name in spans, (result.index, spans)
+                assert spans[name] >= 0.0
+            assert spans["total"] >= spans["solving"]
+            labels = trace_labels(result.metrics)
+            assert labels["algorithm"] == "minimal"
+            assert labels["status"] == "ok"
+            assert labels["watchdog_kill"] is False
+
+    def test_cache_hit_trace_is_fresh_not_stale(self, small_instances):
+        from repro.obs import trace_labels, trace_spans
+
+        tasks = _tasks(small_instances)
+        cache = ResultCache()
+        with BatchRunner(jobs=1, cache=cache) as runner:
+            runner.run(tasks)
+            hits = list(runner.run_stream(tasks))
+        for result in hits:
+            assert result.cached
+            spans = trace_spans(result.metrics)
+            # a planning-time hit never queued or solved; its trace is
+            # the lookup alone, not the original solve's spans
+            assert set(spans) == {"cache_lookup"}
+            assert trace_labels(result.metrics)["cached"] is True

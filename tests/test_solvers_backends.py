@@ -430,9 +430,11 @@ class TestHighsResolve:
             assert a.objective == pytest.approx(b.objective, abs=1e-9)
             assert b.extra["resolve"] == "cold"
         # the chain after the first solve ran warm, not cold
-        assert warm.resolve_stats() == {
-            "hits": 3, "misses": 1, "resident": 1
-        }
+        stats = warm.resolve_stats()
+        assert stats["hits"] == 3
+        assert stats["misses"] == 1
+        assert stats["resident"] == 1
+        assert stats["warm_starts"] == 3
         assert cold.resolve_stats()["resident"] == 0
 
     def test_milp_warm_chain_matches_cold(self):
@@ -467,7 +469,9 @@ class TestHighsResolve:
         )
         backend.solve(other)
         stats = backend.resolve_stats()
-        assert stats == {"hits": 0, "misses": 2, "resident": 2}
+        assert stats["hits"] == 0
+        assert stats["misses"] == 2
+        assert stats["resident"] == 2
 
     def test_resident_cache_evicts_lru(self):
         from repro.solvers import HighsBackend
