@@ -12,7 +12,9 @@ Commands
     List every registered solver with its metadata.
 ``sweep``
     Run a generator x algorithm x g experiment grid through the batch
-    engine: ``python -m repro sweep --jobs 4 --out results.jsonl``
+    engine: ``python -m repro sweep --jobs 4 --out results.jsonl``;
+    add ``--remote host1:8977,host2:8978`` to fan the grid out across
+    running ``repro serve`` hosts via the work-stealing fabric.
 ``batch``
     Solve many instance files in one run:
     ``python -m repro batch a.json b.csv --problem busy --g 2 --jobs 4``
@@ -195,6 +197,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append one structured JSON event per result (plus run "
         "start/end) to this JSONL file",
     )
+    p_sweep.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOSTS",
+        help="dispatch the sweep across running `repro serve` hosts "
+        "(comma-separated host:port list) instead of solving locally; "
+        "--jobs/--cache-dir then belong to the servers and are ignored",
+    )
+    p_sweep.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="fixed per-host in-flight window for --remote (default: "
+        "sized from each host's /healthz capacity report)",
+    )
 
     p_batch = sub.add_parser(
         "batch", help="solve many instance files through the engine"
@@ -234,6 +251,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append one structured JSON event per result (plus run "
         "start/end) to this JSONL file",
+    )
+    p_batch.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOSTS",
+        help="dispatch the batch across running `repro serve` hosts "
+        "(comma-separated host:port list) instead of solving locally",
+    )
+    p_batch.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="fixed per-host in-flight window for --remote (default: "
+        "sized from each host's /healthz capacity report)",
     )
 
     p_serve = sub.add_parser(
@@ -438,6 +469,47 @@ def _obs_event(result) -> dict:
     }
 
 
+def _make_dispatcher(args):
+    """Build the fabric dispatcher for ``--remote``, or ``None``."""
+    if not getattr(args, "remote", None):
+        return None
+    from .fabric import RemoteDispatcher
+
+    return RemoteDispatcher(args.remote, window=args.window)
+
+
+def _fabric_report(stats, report) -> None:
+    """Per-host fabric table after a ``--remote`` run."""
+    rows = [
+        [
+            label,
+            host.window,
+            "up" if host.up else "DOWN",
+            host.dispatched,
+            host.completed,
+            host.retried,
+            host.probes,
+        ]
+        for label, host in sorted(stats.hosts.items())
+    ]
+    print(file=report)
+    print(
+        format_table(
+            "fabric hosts",
+            ["host", "window", "state", "dispatched", "completed",
+             "retried", "probes"],
+            rows,
+        ),
+        file=report,
+    )
+    if stats.retried or stats.gave_up:
+        print(
+            f"fabric   : {stats.retried} re-dispatches, "
+            f"{stats.gave_up} tasks given up",
+            file=report,
+        )
+
+
 def _cmd_sweep(args) -> int:
     problems = ("active", "busy") if args.problem == "both" else (args.problem,)
     generators = _split_csv(args.generators)
@@ -508,6 +580,7 @@ def _cmd_sweep(args) -> int:
         raise ValueError("no grid cells match the requested filters")
 
     obs_log = EventLog(args.obs_log) if args.obs_log else None
+    dispatcher = _make_dispatcher(args)
 
     def on_result(result):
         if args.stream:
@@ -518,17 +591,21 @@ def _cmd_sweep(args) -> int:
     try:
         if obs_log is not None:
             obs_log.emit(
-                "sweep_start", jobs=args.jobs, problems=list(problems)
+                "sweep_start",
+                jobs=args.jobs,
+                problems=list(problems),
+                **({"remote": dispatcher.urls} if dispatcher else {}),
             )
         outcome = run_sweep(
             grids,
             jobs=args.jobs,
-            cache=_make_cache(args),
+            cache=None if dispatcher else _make_cache(args),
             base_seed=args.seed,
             limit=args.limit,
             on_result=(
                 on_result if (args.stream or obs_log is not None) else None
             ),
+            dispatcher=dispatcher,
         )
         if obs_log is not None:
             obs_log.emit(
@@ -556,6 +633,8 @@ def _cmd_sweep(args) -> int:
     print(file=report)
     print(outcome.summary, file=report)
     print(f"results  : {written} records -> {args.out}", file=report)
+    if dispatcher is not None and dispatcher.last_stats is not None:
+        _fabric_report(dispatcher.last_stats, report)
     for result in outcome.results:
         if not result.ok:
             print(f"error    : {result.error}", file=sys.stderr)
@@ -591,21 +670,38 @@ def _cmd_batch(args) -> int:
                 )
             )
     obs_log = EventLog(args.obs_log) if args.obs_log else None
+    dispatcher = _make_dispatcher(args)
     try:
         if obs_log is not None:
             obs_log.emit(
-                "batch_start", jobs=args.jobs, tasks=len(tasks)
+                "batch_start",
+                jobs=args.jobs,
+                tasks=len(tasks),
+                **({"remote": dispatcher.urls} if dispatcher else {}),
             )
-        with BatchRunner(jobs=args.jobs, cache=_make_cache(args)) as runner:
+        if dispatcher is not None:
             results = []
-            stream = runner.run_stream(tasks)
+            stream = dispatcher.run_stream(tasks)
             for result in stream:
                 if args.stream:
                     _emit_jsonl(result)
                 if obs_log is not None:
                     obs_log.emit("task_result", **_obs_event(result))
                 results.append(result)
-            cache_hits = stream.stats.cache_hits
+            cache_hits = sum(1 for r in results if r.cached)
+        else:
+            with BatchRunner(
+                jobs=args.jobs, cache=_make_cache(args)
+            ) as runner:
+                results = []
+                stream = runner.run_stream(tasks)
+                for result in stream:
+                    if args.stream:
+                        _emit_jsonl(result)
+                    if obs_log is not None:
+                        obs_log.emit("task_result", **_obs_event(result))
+                    results.append(result)
+                cache_hits = stream.stats.cache_hits
         if obs_log is not None:
             obs_log.emit(
                 "batch_done",
@@ -639,6 +735,8 @@ def _cmd_batch(args) -> int:
     print(file=report)
     print(aggregate_table(results, "batch aggregate"), file=report)
     print(f"cache hits: {cache_hits}/{len(tasks)}", file=report)
+    if dispatcher is not None and dispatcher.last_stats is not None:
+        _fabric_report(dispatcher.last_stats, report)
     if args.out:
         written = write_results(results, args.out)
         print(f"results  : {written} records -> {args.out}", file=report)

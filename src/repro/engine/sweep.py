@@ -239,6 +239,7 @@ def run_sweep(
     limit: int | None = None,
     title: str = "sweep aggregate",
     on_result: Callable[[TaskResult], None] | None = None,
+    dispatcher=None,
 ) -> SweepOutcome:
     """Build the grid, run it, and aggregate — the one-call sweep API.
 
@@ -247,19 +248,36 @@ def run_sweep(
     predecessors are done, in task order — this is what backs
     ``repro sweep --stream``'s incremental JSONL output.  The worker
     pool is owned by this call and released before it returns.
+
+    ``dispatcher`` (anything with a ``run_stream(tasks)`` yielding
+    ordered results and carrying ``.stats``, in practice a
+    :class:`repro.fabric.RemoteDispatcher`) replaces the local runner:
+    the same grid, digests, and streaming contract, executed on remote
+    ``repro serve`` hosts — ``jobs`` and ``cache`` then belong to the
+    servers and are ignored here.
     """
     import time
 
     tasks = build_sweep_tasks(grids, base_seed=base_seed, limit=limit)
     results: list[TaskResult] = []
     start = time.perf_counter()
-    with BatchRunner(jobs=jobs, cache=cache) as runner:
-        stream = runner.run_stream(tasks)
+    if dispatcher is not None:
+        stream = dispatcher.run_stream(tasks)
         for result in stream:
             if on_result is not None:
                 on_result(result)
             results.append(result)
-        cache_hits = stream.stats.cache_hits
+        # Fabric hits come from two layers — local digest fan-out and
+        # the remote hosts' own caches; both mark results ``cached``.
+        cache_hits = sum(1 for r in results if r.cached)
+    else:
+        with BatchRunner(jobs=jobs, cache=cache) as runner:
+            stream = runner.run_stream(tasks)
+            for result in stream:
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            cache_hits = stream.stats.cache_hits
     elapsed = time.perf_counter() - start
     return SweepOutcome(
         tasks=tasks,

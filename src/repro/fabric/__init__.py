@@ -1,0 +1,24 @@
+"""Distributed sweep fabric: work-stealing dispatch over serve hosts.
+
+One :class:`RemoteDispatcher` turns many ``repro serve`` hosts into a
+single sweep engine with the same streaming, ordered, dedupe-aware
+contract as the local :class:`repro.engine.runner.BatchRunner`.
+"""
+
+from .dispatcher import (
+    FabricStats,
+    FabricStream,
+    HostStats,
+    RemoteDispatcher,
+    normalize_hosts,
+    task_payload,
+)
+
+__all__ = [
+    "FabricStats",
+    "FabricStream",
+    "HostStats",
+    "RemoteDispatcher",
+    "normalize_hosts",
+    "task_payload",
+]

@@ -238,6 +238,36 @@ def _histogram_summaries(
     }
 
 
+def _fabric_digest() -> dict[str, dict[str, Any]]:
+    """Per-host fabric counters, keyed by host, for ``GET /stats``.
+
+    Populated only in processes that have run a
+    :class:`~repro.fabric.RemoteDispatcher` (the families register on
+    first use); everywhere else this answers ``{}`` and the ``fabric``
+    key reads as "no distributed activity here".
+    """
+    hosts: dict[str, dict[str, Any]] = {}
+    for metric, key in (
+        ("repro_fabric_dispatched_total", "dispatched"),
+        ("repro_fabric_completed_total", "completed"),
+        ("repro_fabric_retried_total", "retried"),
+        ("repro_fabric_in_flight", "in_flight"),
+        ("repro_fabric_host_up", "up"),
+    ):
+        family = OBS.get(metric)
+        if family is None:
+            continue
+        for labels, child in family.children():
+            hosts.setdefault(labels["host"], {})[key] = child.value
+    latency = OBS.get("repro_fabric_task_seconds")
+    if latency is not None:
+        for labels, child in latency.children():
+            hosts.setdefault(labels["host"], {})["task_seconds"] = (
+                child.summary()
+            )
+    return hosts
+
+
 def _json_safe(value: Any) -> Any:
     """Replace NaN/inf floats with ``None`` so the JSON is standard."""
     if isinstance(value, dict):
@@ -313,9 +343,19 @@ class ServeApp:
         }
 
     def health_payload(self) -> dict[str, Any]:
+        """The ``GET /healthz`` body: liveness plus a capacity report.
+
+        ``jobs`` (worker processes), ``queue_depth`` (tasks enqueued and
+        not yet dispatched) and ``streams_in_flight`` (open result
+        streams) are what the fabric dispatcher sizes a host's in-flight
+        window from — a loaded host advertises its backlog instead of
+        silently queueing everything thrown at it.
+        """
         return {
             "ok": True,
             "jobs": self.runner.jobs,
+            "queue_depth": OBS.value("repro_queue_depth"),
+            "streams_in_flight": OBS.value("repro_streams_in_flight"),
             "batches_served": self.batches_served,
             "tasks_served": self.tasks_served,
             "cache": self.cache.stats,
@@ -355,6 +395,7 @@ class ServeApp:
             ),
             "cache": self.cache.stats,
             "highs_resolve": get_backend("highs").resolve_stats(),
+            "fabric": _fabric_digest(),
         }
         return _json_safe(payload)
 

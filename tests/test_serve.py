@@ -541,3 +541,151 @@ class TestParseTaskRequest:
     def test_batch_index_becomes_task_index(self, inst):
         task = parse_task_request(task_request(inst, "active", 2), index=7)
         assert task.index == 7
+
+
+class TestHealthzCapacity:
+    def test_reports_window_sizing_fields(self, client):
+        # The fabric dispatcher sizes per-host windows from these; they
+        # must be present and sane even on an idle server.
+        health = client.health()
+        assert health["jobs"] == 1
+        assert health["queue_depth"] >= 0
+        assert health["streams_in_flight"] >= 0
+
+    def test_capacity_tracks_live_batch(self, server, slow_solver):
+        client = ServeClient(server.url)
+        # Distinct digests: identical requests would dedupe into one
+        # solve and the stream could finish before the probe lands.
+        requests = [
+            task_request(
+                Instance.from_tuples([(0, 5 + i, 2), (1, 6 + i, 3)]),
+                "active",
+                2,
+                algorithm=slow_solver,
+            )
+            for i in range(3)
+        ]
+        stream = client.batch(requests)
+        first = next(stream)  # at least one task solving server-side
+        probe = ServeClient(server.url)
+        health = probe.health()
+        assert health["streams_in_flight"] >= 1
+        assert first.ok
+        assert len(list(stream)) == 2
+
+
+class TestClientKeepAlive:
+    def test_connection_reused_across_requests(self, server):
+        client = ServeClient(server.url)
+        client.algos()
+        conn = client._local.conn
+        assert conn is not None
+        client.health()
+        client.stats()
+        assert client._local.conn is conn
+
+    def test_wedged_connection_state_recovers_transparently(self, server):
+        # A keep-alive connection stuck mid-exchange (CannotSendRequest)
+        # must be replaced and the request resent, not surfaced.
+        client = ServeClient(server.url)
+        assert client.health()["ok"] is True
+        conn = client._local.conn
+        conn._HTTPConnection__state = "Request-sent"
+        assert client.health()["ok"] is True
+        assert client._local.conn is not conn
+
+    def test_close_is_reusable(self, server):
+        client = ServeClient(server.url)
+        client.health()
+        client.close()
+        assert getattr(client._local, "conn", None) is None
+        assert client.health()["ok"] is True  # reconnects on demand
+
+    def test_threads_get_independent_connections(self, server):
+        client = ServeClient(server.url)
+        client.health()
+        main_conn = client._local.conn
+        seen = []
+
+        def probe():
+            client.health()
+            seen.append(client._local.conn)
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join(timeout=10)
+        assert seen and seen[0] is not main_conn
+        assert client._local.conn is main_conn
+
+
+class TestClientGetRetries:
+    def _dead_port(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_get_retries_with_exponential_backoff(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", sleeps.append
+        )
+        client = ServeClient(
+            f"http://127.0.0.1:{self._dead_port()}",
+            http_timeout=2.0,
+            get_retries=3,
+            backoff_base=0.2,
+            backoff_cap=10.0,
+        )
+        with pytest.raises(ServeClientError) as err:
+            client.health()
+        assert err.value.status == 0
+        assert len(sleeps) == 3
+        # Exponential schedule with jitter in [0.5, 1.0]x.
+        for attempt, slept in enumerate(sleeps):
+            assert 0.2 * (2 ** attempt) * 0.5 <= slept
+            assert slept <= 0.2 * (2 ** attempt)
+
+    def test_backoff_is_capped(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", sleeps.append
+        )
+        client = ServeClient(
+            f"http://127.0.0.1:{self._dead_port()}",
+            http_timeout=2.0,
+            get_retries=4,
+            backoff_base=1.0,
+            backoff_cap=1.5,
+        )
+        with pytest.raises(ServeClientError):
+            client.algos()
+        assert len(sleeps) == 4
+        assert all(s <= 1.5 for s in sleeps)
+
+    def test_posts_never_auto_retry(self, monkeypatch, inst):
+        # Retry policy for solves belongs to the caller (the fabric
+        # dispatcher); the client must fail POSTs fast.
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", sleeps.append
+        )
+        client = ServeClient(
+            f"http://127.0.0.1:{self._dead_port()}",
+            http_timeout=2.0,
+            get_retries=3,
+        )
+        with pytest.raises(ServeClientError):
+            client.solve(inst, "active", 2, algorithm="minimal")
+        assert sleeps == []
+
+    def test_4xx_does_not_retry(self, monkeypatch, client):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", sleeps.append
+        )
+        with pytest.raises(ServeClientError) as err:
+            client._get_json("/no-such-endpoint")
+        assert err.value.status == 404
+        assert sleeps == []
