@@ -1,0 +1,193 @@
+"""E21 (engineering) — asyncio serving tier at connection scale.
+
+Not a paper claim: pins what the asyncio rewrite of ``repro.serve``
+buys.  The old ``ThreadingHTTPServer`` spent one OS thread per open
+connection, so hundreds of idle keep-alive clients meant hundreds of
+threads; the asyncio tier parks them all on one event loop.
+
+Two guards:
+
+* **Idle-connection scale** — with ≥500 idle keep-alive connections
+  parked on the server, the p95 ``/solve`` latency must stay within
+  2x of the single-client baseline (plus a small absolute slack for
+  single-core CI noise).  Idle connections must cost nothing.
+* **Time-to-first-result** — a ``/batch`` whose *last* task is slow
+  must stream its finished predecessors immediately; the first JSONL
+  line lands well before the slow tail completes.  This re-pins the
+  PR-5 incremental-streaming guarantee on the asyncio transport.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import Instance
+from repro.engine.registry import REGISTRY, SolveOutcome, SolverSpec
+from repro.serve import ServeClient, create_server, task_request
+
+_IDLE_CONNECTIONS = 500
+_SAMPLES = 30
+_TAIL_SLEEP = 0.5
+
+
+def _paced_solver(instance, g, **params):
+    time.sleep(_TAIL_SLEEP)
+    return SolveOutcome(objective=float(g))
+
+
+@pytest.fixture
+def paced_solver():
+    name = "paced-bench-serve"
+    if ("active", name) not in REGISTRY:
+        REGISTRY.register(
+            SolverSpec(
+                problem="active",
+                name=name,
+                solve=_paced_solver,
+                exact=False,
+                guarantee="-",
+                complexity="-",
+                description="fixed-latency solver (benchmark only)",
+            )
+        )
+    yield name
+    REGISTRY._specs.pop(("active", name), None)
+
+
+def _serving():
+    srv = create_server(port=0, jobs=1)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    return srv, thread
+
+
+def _teardown(srv, thread):
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5.0)
+
+
+def _solve_latencies(client, count, seed):
+    # distinct small instances: modular offsets keep the solve cost flat
+    # (the minimal solver's cost grows with the horizon, which would
+    # otherwise confound the serving-overhead measurement)
+    instances = [
+        Instance.from_tuples([
+            (0, 4 + (seed + i) % 7, 2),
+            (1, 9 + (seed + i) % 11, 3),
+            (2, 6 + (seed + i) % 5, 1),
+        ])
+        for i in range(count)
+    ]
+    latencies = []
+    for inst in instances:
+        start = time.perf_counter()
+        result = client.solve(inst, "active", 2, algorithm="minimal")
+        latencies.append(time.perf_counter() - start)
+        assert result.ok
+    return latencies
+
+
+def _p95(latencies):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def test_500_idle_connections_leave_solve_p95_intact(emit):
+    srv, thread = _serving()
+    idle = []
+    try:
+        client = ServeClient(srv.url)
+        base = _solve_latencies(client, _SAMPLES, seed=0)
+
+        host, port = srv.server_address[:2]
+        for _ in range(_IDLE_CONNECTIONS):
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+            idle.append(conn)  # keep-alive: parked open
+        loaded_health = _healthz(host, port)
+        assert loaded_health["connections"] >= _IDLE_CONNECTIONS
+
+        loaded = _solve_latencies(client, _SAMPLES, seed=100)
+    finally:
+        for conn in idle:
+            conn.close()
+        _teardown(srv, thread)
+
+    base_p95, loaded_p95 = _p95(base), _p95(loaded)
+    emit(
+        f"/solve p95 with {_IDLE_CONNECTIONS} idle keep-alive connections",
+        ["scenario", "p50 (ms)", "p95 (ms)"],
+        [
+            ["single client", f"{sorted(base)[len(base)//2]*1e3:.1f}",
+             f"{base_p95*1e3:.1f}"],
+            [f"+{_IDLE_CONNECTIONS} idle conns",
+             f"{sorted(loaded)[len(loaded)//2]*1e3:.1f}",
+             f"{loaded_p95*1e3:.1f}"],
+        ],
+    )
+    # idle connections are parked on the loop: they must not tax live
+    # requests.  2x relative + 50ms absolute slack for 1-core CI noise.
+    assert loaded_p95 <= 2 * base_p95 + 0.05, (base_p95, loaded_p95)
+
+
+def _healthz(host, port):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", "/healthz")
+        return json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+
+
+def test_batch_first_result_beats_slow_tail(paced_solver, emit):
+    srv, thread = _serving()
+    try:
+        host, port = srv.server_address[:2]
+        fast_a = Instance.from_tuples([(0, 5, 2), (1, 6, 3), (2, 7, 1)])
+        fast_b = Instance.from_tuples([(0, 4, 1), (3, 8, 2)])
+        requests = [
+            task_request(fast_a, "active", 2, algorithm="minimal"),
+            task_request(fast_b, "active", 2, algorithm="minimal"),
+            task_request(fast_a, "active", 2, algorithm=paced_solver),
+        ]
+        body = "".join(json.dumps(r) + "\n" for r in requests).encode()
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        arrivals = []
+        try:
+            start = time.perf_counter()
+            conn.request(
+                "POST", "/batch", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                if line.strip():
+                    record = json.loads(line)
+                    arrivals.append(
+                        (record["index"], time.perf_counter() - start)
+                    )
+        finally:
+            conn.close()
+    finally:
+        _teardown(srv, thread)
+
+    emit(
+        f"/batch TTFR with a {_TAIL_SLEEP:.1f}s tail task (jobs=1)",
+        ["result", "arrived (s)"],
+        [[str(i), f"{t:.3f}"] for i, t in arrivals],
+    )
+    assert [i for i, _ in arrivals] == [0, 1, 2]
+    # finished predecessors stream immediately; only the tail waits
+    assert arrivals[0][1] < _TAIL_SLEEP * 0.75, arrivals
+    assert arrivals[-1][1] >= _TAIL_SLEEP * 0.9, arrivals

@@ -306,6 +306,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="no disk cache (an in-memory cache still dedupes requests)",
     )
     p_serve.add_argument(
+        "--warm-pool",
+        action="store_true",
+        help="pre-spawn the watchdog worker pool at startup (--jobs >= 2) "
+        "so the first deadlined request pays no process-spawn latency",
+    )
+    p_serve.add_argument(
+        "--idle-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="reap watchdog workers idle for this long, so a quiet "
+        "server releases its worker processes (default: keep warm)",
+    )
+    p_serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="refuse connections past this count with 503 "
+        "(default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--write-stall-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="treat a /batch client that accepts no bytes for this long "
+        "as disconnected, freeing its leased workers (default 300)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
     )
 
@@ -791,15 +820,6 @@ def _cmd_serve(args) -> int:
 
     from .serve import create_server
 
-    # The runner's worker pools now outlive individual batches, so a
-    # bare SIGTERM (docker stop, subprocess .terminate()) must run the
-    # close path below — otherwise worker processes are orphaned holding
-    # each other's inherited pipe ends and linger long after the server.
-    def _on_term(signum, frame):
-        raise SystemExit(128 + signum)
-
-    signal.signal(signal.SIGTERM, _on_term)
-
     if args.no_cache:
         cache = ResultCache()  # memory-only: still dedupes across requests
     else:
@@ -817,7 +837,28 @@ def _cmd_serve(args) -> int:
         default_backend=args.backend,
         default_timeout=args.timeout,
         verbose=args.verbose,
+        write_stall_timeout=args.write_stall_timeout,
+        max_connections=args.max_connections,
+        warm_pool=args.warm_pool,
+        idle_ttl=args.idle_ttl,
     )
+
+    # The runner's worker pools outlive individual batches, so a bare
+    # SIGTERM (docker stop, subprocess .terminate()) must run the close
+    # path below — otherwise worker processes are orphaned holding each
+    # other's inherited pipe ends and linger long after the server.  A
+    # running event loop is stopped gracefully (request_shutdown only
+    # pokes the loop's wake-up pipe, which is signal-safe); raising
+    # from the handler is the fallback for a signal landing before the
+    # loop is up.
+    term_signum = []
+
+    def _on_term(signum, frame):
+        term_signum.append(signum)
+        if not server.request_shutdown():
+            raise SystemExit(128 + signum)
+
+    signal.signal(signal.SIGTERM, _on_term)
     try:
         print(f"repro serve listening on {server.url}")
         print(
@@ -834,6 +875,8 @@ def _cmd_serve(args) -> int:
         server.serve_forever()
     finally:
         server.server_close()
+    if term_signum:
+        return 128 + term_signum[0]
     return 0
 
 

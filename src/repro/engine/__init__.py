@@ -34,12 +34,13 @@ from .results import (
     warm_stats_table,
     write_results,
 )
-from .runner import BatchRunner, ResultStream, StreamStats
+from .runner import BatchRunner, PRIORITY_URGENT, ResultStream, StreamStats
 from .sweep import SweepGrid, build_sweep_tasks, default_grid, run_sweep
 from .workers import Task, TaskResult, TaskTimeout, execute_task, make_task
 
 __all__ = [
     "BatchRunner",
+    "PRIORITY_URGENT",
     "REGISTRY",
     "ResultCache",
     "ResultStream",

@@ -70,7 +70,9 @@ from ..obs import REGISTRY as OBS
 from .cache import ResultCache
 from .workers import Task, TaskResult, execute_task, failure_result, worker_loop
 
-__all__ = ["BatchRunner", "ResultStream", "StreamStats"]
+__all__ = [
+    "BatchRunner", "PRIORITY_URGENT", "ResultStream", "StreamStats",
+]
 
 _TASKS = OBS.counter(
     "repro_tasks_total",
@@ -110,6 +112,22 @@ _KILLS = OBS.counter(
     "repro_watchdog_kills_total",
     "Worker processes terminated by the deadline watchdog",
 )
+_WARMUPS = OBS.counter(
+    "repro_pool_warmups_total",
+    "Watchdog workers pre-spawned by warm-up (before any request)",
+)
+_REAPED = OBS.counter(
+    "repro_pool_reaped_total",
+    "Idle watchdog workers reaped by the idle-TTL reaper",
+)
+
+#: ``run_stream(..., priority=PRIORITY_URGENT)`` marks a stream as
+#: latency-sensitive: urgent acquirers take freed workers ahead of bulk
+#: streams, and a bulk stream sheds one worker to a waiting urgent
+#: stream at its next task completion.  The serving layer uses this for
+#: ``/solve`` so a one-task request never queues behind a large
+#: ``/batch`` for a worker lease.
+PRIORITY_URGENT = 1
 
 
 class StreamStats:
@@ -243,6 +261,9 @@ class _WatchdogWorker:
     task: Task | None = None
     started: float = field(default=0.0)
     deadline: float | None = None
+    #: Monotonic time this worker was returned to the idle pool; the
+    #: idle-TTL reaper compares against it.
+    idle_since: float = field(default=0.0)
 
     @classmethod
     def spawn(cls, ctx) -> "_WatchdogWorker":
@@ -315,6 +336,13 @@ class BatchRunner:
         Extra seconds the parent allows past a task's ``timeout`` before
         terminating the worker — headroom for the in-worker ``SIGALRM``
         to fire first (it produces a cheaper, stack-annotated failure).
+    idle_ttl:
+        Reap watchdog workers that sit idle in the shared pool for this
+        many seconds, so a quiet long-lived runner (a serving host)
+        releases its worker processes instead of holding them forever.
+        ``None`` (the default) keeps idle workers warm indefinitely —
+        the historical behavior.  Reaped capacity is rebuilt lazily on
+        the next lease (or explicitly via :meth:`warm_up`).
 
     Worker processes persist across calls; use the runner as a context
     manager (``with BatchRunner(jobs=4) as runner: ...``) or call
@@ -328,6 +356,7 @@ class BatchRunner:
         cache: ResultCache | None = None,
         *,
         watchdog_grace: float = 1.0,
+        idle_ttl: float | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -335,9 +364,12 @@ class BatchRunner:
             raise ValueError(
                 f"watchdog_grace must be >= 0, got {watchdog_grace}"
             )
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ValueError(f"idle_ttl must be > 0, got {idle_ttl}")
         self.jobs = jobs
         self.cache = cache
         self.watchdog_grace = watchdog_grace
+        self.idle_ttl = idle_ttl
         #: Number of cache hits in the most recent :meth:`run`.
         self.last_cache_hits = 0
         #: Workers killed by the watchdog in the most recent :meth:`run`.
@@ -352,11 +384,19 @@ class BatchRunner:
         # shed one to them per completion — fairness), ``_wd_open``
         # flips off in :meth:`close` so late releases from in-flight
         # streams shut workers down instead of re-pooling them.
+        # ``_wd_urgent_waiters`` is the second level of the lease queue:
+        # while an urgent stream waits, bulk acquirers leave idle
+        # workers alone and bulk holders shed one at their next task
+        # completion, so a ``/solve``-sized stream gets a worker within
+        # roughly one task duration of a busy ``/batch``.
         self._wd_cond = threading.Condition()
         self._wd_idle: list[_WatchdogWorker] = []
         self._wd_total = 0
         self._wd_waiters = 0
+        self._wd_urgent_waiters = 0
         self._wd_open = True
+        self._reaper: threading.Thread | None = None
+        self._reaper_stop: threading.Event | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -377,6 +417,8 @@ class BatchRunner:
         """
         self._discard_executor(cancel=True)
         with self._wd_cond:
+            reaper_stop, self._reaper_stop = self._reaper_stop, None
+            self._reaper = None
             idle, self._wd_idle = self._wd_idle, []
             self._wd_total -= len(idle)
             # Workers still leased to a draining stream are not in the
@@ -385,20 +427,105 @@ class BatchRunner:
             # runner.  The next acquire reopens the pool.
             self._wd_open = False
             self._wd_cond.notify_all()
+        if reaper_stop is not None:
+            reaper_stop.set()
         for worker in idle:
             worker.shutdown()
 
     # ------------------------------------------------------------------
-    def run(self, tasks: Sequence[Task]) -> list[TaskResult]:
+    # Pool warm-up and idle-TTL reaping
+    # ------------------------------------------------------------------
+    def warm_up(self, count: int | None = None) -> int:
+        """Pre-spawn watchdog workers so the first request pays no spawn cost.
+
+        Spawns up to ``count`` (default ``jobs``) workers into the
+        shared idle pool, counting existing workers against the target;
+        answers the number actually spawned.  ``jobs=1`` runners solve
+        in-process and never use the pool, so warm-up is a no-op there.
+        """
+        if self.jobs <= 1:
+            return 0
+        want = self.jobs if count is None else min(count, self.jobs)
+        ctx = mp.get_context()
+        with self._wd_cond:
+            self._wd_open = True
+            reserve = max(0, want - self._wd_total)
+            self._wd_total += reserve
+        spawned: list[_WatchdogWorker] = []
+        try:
+            for _ in range(reserve):
+                spawned.append(_WatchdogWorker.spawn(ctx))
+        except BaseException:
+            with self._wd_cond:
+                self._wd_total -= reserve - len(spawned)
+                self._wd_cond.notify_all()
+            self._wd_release(spawned)
+            raise
+        self._wd_release(spawned)
+        if spawned:
+            _WARMUPS.inc(len(spawned))
+        return len(spawned)
+
+    def _ensure_reaper(self) -> None:
+        """Start the idle-TTL reaper thread if configured and not running."""
+        if self.idle_ttl is None:
+            return
+        with self._wd_cond:
+            if not self._wd_open:
+                return
+            if self._reaper is not None and self._reaper.is_alive():
+                return
+            stop = threading.Event()
+            self._reaper_stop = stop
+            self._reaper = threading.Thread(
+                target=self._reap_loop,
+                args=(stop,),
+                daemon=True,
+                name="repro-pool-reaper",
+            )
+            self._reaper.start()
+
+    def _reap_loop(self, stop: threading.Event) -> None:
+        """Shut down idle watchdog workers whose TTL has lapsed."""
+        ttl = self.idle_ttl
+        interval = max(0.05, min(ttl / 2.0, 1.0))
+        while not stop.wait(interval):
+            now = time.monotonic()
+            with self._wd_cond:
+                if not self._wd_open:
+                    continue
+                keep = [
+                    w for w in self._wd_idle
+                    if now - w.idle_since < ttl
+                ]
+                reap = [
+                    w for w in self._wd_idle
+                    if now - w.idle_since >= ttl
+                ]
+                if reap:
+                    self._wd_idle = keep
+                    self._wd_total -= len(reap)
+                    self._wd_cond.notify_all()
+            for worker in reap:
+                worker.shutdown()
+            if reap:
+                _REAPED.inc(len(reap))
+
+    # ------------------------------------------------------------------
+    def run(
+        self, tasks: Sequence[Task], *, priority: int = 0
+    ) -> list[TaskResult]:
         """Execute ``tasks`` and return results in task order.
 
         Tasks sharing a content digest are solved once per run: the
         first occurrence executes, later ones reuse its result (marked
         ``cached``) even when no :class:`ResultCache` is configured.
         """
-        return list(self.run_stream(tasks))
+        return list(self.run_stream(tasks, priority=priority))
 
-    def run_stream(self, tasks: Sequence[Task]) -> ResultStream:
+    def run_stream(
+        self, tasks: Sequence[Task], *, priority: int = 0
+    ) -> ResultStream:
         """Yield results for ``tasks`` in task order, incrementally.
 
         Each result is yielded the moment it and every earlier task's
@@ -423,6 +550,12 @@ class BatchRunner:
         The returned :class:`ResultStream` exposes per-stream counters
         as ``.stats`` — the race-free replacement for the runner-level
         ``last_cache_hits`` / ``last_watchdog_kills`` mirrors.
+
+        ``priority`` shapes watchdog-pool lease arbitration only:
+        streams at :data:`PRIORITY_URGENT` (or above) take freed workers
+        ahead of bulk (priority ``0``) streams, and a bulk stream
+        holding workers sheds one to a waiting urgent stream at its next
+        task completion.  It never reorders results within a stream.
         """
         tasks = list(tasks)
         stats = StreamStats(total=len(tasks))
@@ -455,7 +588,10 @@ class BatchRunner:
         self.last_watchdog_kills = 0
         stats.open()
         return ResultStream(
-            self._stream(tasks, results, work, dups_by_first, stats), stats
+            self._stream(
+                tasks, results, work, dups_by_first, stats, priority
+            ),
+            stats,
         )
 
     # ------------------------------------------------------------------
@@ -466,6 +602,7 @@ class BatchRunner:
         work: Deque[tuple[int, Task]],
         dups_by_first: dict[int, list[int]],
         stats: StreamStats,
+        priority: int = 0,
     ) -> Iterator[TaskResult]:
         """Drive a strategy's completion events into an ordered stream.
 
@@ -478,7 +615,7 @@ class BatchRunner:
         """
         emitted = 0
         total = len(tasks)
-        events = self._pick_strategy(tasks, work)(work, stats)
+        events = self._pick_strategy(tasks, work)(work, stats, priority)
         try:
             # Cache hits at the head of the list stream out immediately,
             # before the first solve completes.
@@ -635,7 +772,10 @@ class BatchRunner:
     # Serial strategy (jobs=1, or a single pending task)
     # ------------------------------------------------------------------
     def _stream_serial(
-        self, work: Deque[tuple[int, Task]], stats: StreamStats
+        self,
+        work: Deque[tuple[int, Task]],
+        stats: StreamStats,
+        priority: int = 0,
     ) -> Iterator[tuple[int, TaskResult]]:
         while work:
             pos, task = work.popleft()
@@ -646,7 +786,10 @@ class BatchRunner:
     # Plain process pool (parallel, no deadlines)
     # ------------------------------------------------------------------
     def _stream_parallel(
-        self, work: Deque[tuple[int, Task]], stats: StreamStats
+        self,
+        work: Deque[tuple[int, Task]],
+        stats: StreamStats,
+        priority: int = 0,
     ) -> Iterator[tuple[int, TaskResult]]:
         """Fan tasks out to the persistent pool, yielding completions.
 
@@ -746,7 +889,10 @@ class BatchRunner:
     # Watchdog pool (used whenever any pending task carries a timeout)
     # ------------------------------------------------------------------
     def _stream_watchdog(
-        self, work: Deque[tuple[int, Task]], stats: StreamStats
+        self,
+        work: Deque[tuple[int, Task]],
+        stats: StreamStats,
+        priority: int = 0,
     ) -> Iterator[tuple[int, TaskResult]]:
         """Run tasks on leased dedicated workers, killing any that overrun.
 
@@ -778,11 +924,21 @@ class BatchRunner:
                 busy = [w for w in held if w.task is not None]
                 if not work and not busy:
                     break
-                if len(held) > 1 and self._wd_waiters > 0:
+                urgent_waiting = (
+                    priority < PRIORITY_URGENT
+                    and self._wd_urgent_waiters > 0
+                )
+                if (len(held) > 1 and self._wd_waiters > 0) or (
+                    urgent_waiting and held
+                ):
                     # Fairness: another stream is blocked for a worker
                     # while this one holds several — shed one idle
                     # worker per round so a concurrent deadlined /solve
-                    # is not pinned behind this whole batch.
+                    # is not pinned behind this whole batch.  An urgent
+                    # waiter (a /solve behind a large /batch) is owed a
+                    # worker even by a single-worker bulk holder: the
+                    # urgent stream's task is short and priority-tagged
+                    # acquisition hands the worker straight back.
                     idle = next(
                         (w for w in held if w.task is None), None
                     )
@@ -791,13 +947,22 @@ class BatchRunner:
                         self._wd_release([idle])
                 if work:
                     need = min(self.jobs, len(busy) + len(work)) - len(held)
-                    # Never grow while other streams are starved (we
-                    # would snatch back the worker just shed to them);
-                    # an empty-handed stream still block-acquires its
-                    # one guaranteed worker.
-                    if need > 0 and (not held or self._wd_waiters == 0):
+                    # Never grow while other streams at this stream's
+                    # level (or above) are starved — we would snatch
+                    # back the worker just shed to them.  Urgent streams
+                    # only defer to other urgent waiters; an
+                    # empty-handed stream still block-acquires its one
+                    # guaranteed worker.
+                    blocking_waiters = (
+                        self._wd_waiters
+                        if priority < PRIORITY_URGENT
+                        else self._wd_urgent_waiters
+                    )
+                    if need > 0 and (not held or blocking_waiters == 0):
                         held.extend(
-                            self._wd_acquire(need, block=not held)
+                            self._wd_acquire(
+                                need, block=not held, priority=priority
+                            )
                         )
                     for i, worker in enumerate(held):
                         if worker.task is not None or not work:
@@ -925,7 +1090,7 @@ class BatchRunner:
         return pos, task
 
     def _wd_acquire(
-        self, want: int, *, block: bool
+        self, want: int, *, block: bool, priority: int = 0
     ) -> list[_WatchdogWorker]:
         """Lease up to ``want`` workers from the shared watchdog pool.
 
@@ -933,13 +1098,27 @@ class BatchRunner:
         count stays under ``jobs``.  With ``block=True`` (a stream that
         holds no worker yet) waits until at least one is available so
         every stream is guaranteed forward progress.
+
+        The lease queue is two-level: while any urgent stream waits,
+        bulk (``priority=0``) acquirers pass over the idle list — the
+        freed worker goes to the urgent waiter, not back to the bulk
+        stream that just shed it.  Bulk streams may still *spawn* under
+        capacity (an urgent stream only waits once capacity is full, so
+        the two never compete for a spawn slot).
         """
         ctx = mp.get_context()
         acquired: list[_WatchdogWorker] = []
         while True:
             with self._wd_cond:
                 self._wd_open = True
-                while self._wd_idle and len(acquired) < want:
+                while (
+                    self._wd_idle
+                    and len(acquired) < want
+                    and (
+                        priority >= PRIORITY_URGENT
+                        or self._wd_urgent_waiters == 0
+                    )
+                ):
                     acquired.append(self._wd_idle.pop())
                 reserve = max(
                     0, min(want - len(acquired), self.jobs - self._wd_total)
@@ -966,12 +1145,34 @@ class BatchRunner:
                 return acquired
             with self._wd_cond:
                 # Advertise that this stream is starved so current
-                # holders shed a worker at their next completion.
+                # holders shed a worker at their next completion; urgent
+                # waiters are advertised separately so bulk streams both
+                # shed to them and stand aside at the idle list.  The
+                # registration stays held across wake-ups *and* the
+                # re-check — deregistering between a wake-up and the
+                # idle-list look would open a window for a bulk acquirer
+                # to slip past a woken urgent waiter.
                 self._wd_waiters += 1
+                if priority >= PRIORITY_URGENT:
+                    self._wd_urgent_waiters += 1
                 try:
-                    self._wd_cond.wait(timeout=0.05)
+                    while True:
+                        if self._wd_idle and (
+                            priority >= PRIORITY_URGENT
+                            or self._wd_urgent_waiters == 0
+                        ):
+                            acquired.append(self._wd_idle.pop())
+                            break
+                        if self._wd_total < self.jobs:
+                            break  # capacity freed: spawn via the top
+                        self._wd_cond.wait(timeout=0.05)
                 finally:
                     self._wd_waiters -= 1
+                    if priority >= PRIORITY_URGENT:
+                        self._wd_urgent_waiters -= 1
+            if acquired:
+                _LEASES.inc(len(acquired))
+                return acquired
 
     def _wd_release(self, workers: list[_WatchdogWorker]) -> None:
         """Return leased workers to the idle pool.
@@ -983,16 +1184,22 @@ class BatchRunner:
         if not workers:
             return
         shutdown: list[_WatchdogWorker] = []
+        pooled = False
+        now = time.monotonic()
         with self._wd_cond:
             for worker in workers:
                 if not self._wd_open or not worker.proc.is_alive():
                     self._wd_total -= 1
                     shutdown.append(worker)
                 else:
+                    worker.idle_since = now
                     self._wd_idle.append(worker)
+                    pooled = True
             self._wd_cond.notify_all()
         for worker in shutdown:
             worker.shutdown()
+        if pooled:
+            self._ensure_reaper()
 
     def _wd_discard(self, worker: _WatchdogWorker) -> None:
         """Kill a leased worker and free its capacity slot."""

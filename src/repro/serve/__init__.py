@@ -1,10 +1,14 @@
 """`repro.serve` — dependency-free HTTP/JSONL serving over the batch engine.
 
-* :mod:`~repro.serve.server` — the :class:`ThreadingHTTPServer` front
-  end (``GET /algos``, ``GET /healthz``, ``POST /solve``,
-  ``POST /batch``) over one shared runner + result cache.
-* :mod:`~repro.serve.client` — a urllib client speaking the same wire
-  format, for sweeps that target a remote server.
+* :mod:`~repro.serve.server` — the asyncio HTTP/1.1 front end
+  (``GET /algos``, ``GET /healthz``, ``POST /solve``, ``POST /batch``)
+  over one shared runner + result cache: one event loop multiplexes
+  thousands of keep-alive connections, each ``/batch`` streams behind a
+  bounded backpressure buffer, and ``/solve`` leases workers at urgent
+  priority.
+* :mod:`~repro.serve.client` — a persistent-connection http.client
+  speaking the same wire format, for sweeps that target a remote
+  server.
 
 Start a server with ``repro serve`` or :func:`create_server`.
 """
@@ -12,6 +16,7 @@ Start a server with ``repro serve`` or :func:`create_server`.
 from .client import ServeClient, ServeClientError, task_request
 from .server import (
     DEFAULT_PORT,
+    ReproAsyncServer,
     ReproHTTPServer,
     RequestError,
     ServeApp,
@@ -21,6 +26,7 @@ from .server import (
 
 __all__ = [
     "DEFAULT_PORT",
+    "ReproAsyncServer",
     "ReproHTTPServer",
     "RequestError",
     "ServeApp",

@@ -187,7 +187,7 @@ class TestExecuteLengthInvariant:
         with BatchRunner(jobs=2) as runner:
             real = runner._stream_parallel
 
-            def dropping(work, stats):
+            def dropping(work, stats, priority=0):
                 events = list(real(work, stats))
                 yield from events[:-1]
 
@@ -208,7 +208,7 @@ class TestExecuteLengthInvariant:
         with BatchRunner(jobs=2) as runner:
             real = runner._stream_parallel
 
-            def repeating(work, stats):
+            def repeating(work, stats, priority=0):
                 events = list(real(work, stats))
                 yield from events
                 yield events[0]
