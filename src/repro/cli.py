@@ -386,6 +386,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "keys", nargs="*", help=f"subset of {sorted(EXPERIMENTS)} (default all)"
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (rules REP001-REP006)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to scan (default: src tools benchmarks)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of text findings",
+    )
+    p_lint.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    p_lint.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="project root for relative paths and the README metrics catalog",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     return parser
 
 
@@ -931,6 +956,23 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Delegate to the lint package's own CLI so ``repro lint`` and
+    # ``python -m repro.lint`` stay one surface (same flags, same exits).
+    from .lint.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.root is not None:
+        argv.extend(["--root", args.root])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -946,6 +988,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "gadget": _cmd_gadget,
         "bounds": _cmd_bounds,
         "experiments": _cmd_experiments,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

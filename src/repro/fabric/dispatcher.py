@@ -521,6 +521,10 @@ class RemoteDispatcher:
                         elapsed,
                     ),
                 )
+        except KeyboardInterrupt:
+            # Worker thread: an interrupt must kill the dispatch loop,
+            # not masquerade as one task's remote failure.
+            raise
         except Exception as exc:  # client bug / unexpected payload shape
             self._deliver(
                 run,

@@ -1,0 +1,136 @@
+"""Core types of the ``repro.lint`` framework: findings, rules, contexts.
+
+A *rule* is a project-specific static check with a stable ID
+(``REP###``), a one-line title and a docstring explaining what it
+catches and which historical bug motivated it.  Rules subscribe to two
+phases:
+
+* :meth:`Rule.check_module` — runs once per parsed module, for purely
+  local checks (AST patterns inside one file);
+* :meth:`Rule.check_tree` — runs once over the whole scanned tree, for
+  cross-module checks (name uniqueness, catalog parity, call-graph
+  reachability).
+
+Findings carry a root-relative path, a 1-based line, the rule ID and a
+message; the runner applies per-line waivers (see
+:mod:`repro.lint.waivers`) before reporting.  ``REP000`` is the
+framework's own meta rule (syntax errors, malformed or reason-less
+waivers) and cannot be waived.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Sequence, Type
+
+from .waivers import Waiver, parse_waivers
+
+__all__ = [
+    "META_RULE_ID",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RULES",
+    "TreeContext",
+    "register",
+]
+
+#: The framework's own rule ID: parse failures and waiver hygiene.
+META_RULE_ID = "REP000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One reported violation, anchored to a file and line."""
+
+    path: str  #: root-relative POSIX path
+    line: int  #: 1-based; 0 for whole-file findings
+    rule: str  #: rule ID (``REP###``)
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """One parsed module: source, AST, waivers, and path bookkeeping."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.waivers: Dict[int, Waiver] = parse_waivers(self.lines)
+
+    @property
+    def in_serve_package(self) -> bool:
+        """Whether this module belongs to ``repro.serve`` (REP001 scopes
+        its banned-import check there)."""
+        parts = Path(self.rel).parts
+        return "serve" in parts and "repro" in parts
+
+    def finding(self, rule: str, node: ast.AST | int, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 0)
+        return Finding(path=self.rel, line=line, rule=rule, message=message)
+
+
+class TreeContext:
+    """The whole scanned tree, for cross-module rules."""
+
+    def __init__(self, root: Path, modules: Sequence[ModuleContext]) -> None:
+        self.root = root
+        self.modules = list(modules)
+
+    def module(self, rel: str) -> ModuleContext | None:
+        for mod in self.modules:
+            if mod.rel == rel:
+                return mod
+        return None
+
+
+class Rule:
+    """Base class for one registered check.
+
+    Subclasses set ``id`` and ``title`` and override one or both check
+    phases.  The class docstring is the rule's long-form documentation
+    (shown by ``repro lint --list-rules`` and mirrored in the README
+    rule catalog).
+    """
+
+    id: str = ""
+    title: str = ""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_tree(self, tree: TreeContext) -> Iterable[Finding]:
+        return ()
+
+    @classmethod
+    def describe(cls) -> str:
+        return (cls.__doc__ or "").strip()
+
+
+#: Registered rule singletons, keyed by ID, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its ID."""
+    if not rule_cls.id or not rule_cls.id.startswith("REP"):
+        raise ValueError(f"rule {rule_cls.__name__} needs a REP### id")
+    if rule_cls.id in RULES:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    RULES[rule_cls.id] = rule_cls()
+    return rule_cls

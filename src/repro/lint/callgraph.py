@@ -1,0 +1,127 @@
+"""Lightweight name-level call-graph helpers shared by rules.
+
+This is deliberately *approximate*: functions are keyed by bare name
+across the whole scanned tree, and a call edge is recorded for
+``f(...)``, ``self.f(...)`` and ``mod.f(...)`` alike whenever some
+scanned function is named ``f``.  Over-approximation errs on the side
+of scanning more functions (a false extra finding can be waived with a
+reason); building a sound type-resolved graph is out of scope for a
+stdlib linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+__all__ = [
+    "called_names",
+    "function_table",
+    "reachable_names",
+    "worker_entry_names",
+    "worker_path_names",
+]
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def function_table(
+    trees: Iterable[ast.AST],
+) -> Dict[str, List[ast.AST]]:
+    """Every function/method definition in ``trees``, keyed by bare name."""
+    table: Dict[str, List[ast.AST]] = {}
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, _FuncDef):
+                table.setdefault(node.name, []).append(node)
+    return table
+
+
+def called_names(func: ast.AST) -> Set[str]:
+    """Bare names of everything ``func`` calls (``f()``, ``x.f()``)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def reachable_names(
+    table: Dict[str, List[ast.AST]], entries: Iterable[str]
+) -> Set[str]:
+    """Function names transitively callable from ``entries``.
+
+    Only names that actually exist in ``table`` propagate, so stdlib
+    attribute calls (``json.dumps`` → ``dumps``) never pull unrelated
+    code into the reachable set unless the project defines a function
+    of the same name.
+    """
+    seen: Set[str] = set()
+    frontier = [name for name in entries if name in table]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for func in table[name]:
+            for callee in called_names(func):
+                if callee in table and callee not in seen:
+                    frontier.append(callee)
+    return seen
+
+
+def _callable_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def worker_entry_names(trees: Iterable[ast.AST]) -> Set[str]:
+    """Names of functions handed to threads, processes or process pools.
+
+    Detected shapes: ``Thread(target=f)`` / ``Process(target=f)`` (also
+    ``self.f`` / ``mod.f`` targets), and ``<pool>.submit(f, ...)`` /
+    ``<pool>.apply_async(f, ...)``.  These functions — and everything
+    they call — run far from the main thread's exception surface, which
+    is what makes swallowed ``KeyboardInterrupt``/``CancelledError``
+    there so expensive (see REP002).
+    """
+    entries: Set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    name = _callable_name(kw.value)
+                    if name:
+                        entries.add(name)
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("submit", "apply_async")
+                and node.args
+            ):
+                name = _callable_name(node.args[0])
+                if name:
+                    entries.add(name)
+    return entries
+
+
+def worker_path_names(trees: Iterable[ast.AST]) -> Set[str]:
+    """Names of every function on a worker path, tree-wide.
+
+    A function is on a worker path when its bare name is a worker entry
+    anywhere in the tree, or it is (transitively, by name) called from
+    one.
+    """
+    tree_list = list(trees)
+    table = function_table(tree_list)
+    return reachable_names(table, worker_entry_names(tree_list))

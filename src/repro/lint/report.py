@@ -1,0 +1,45 @@
+"""Rendering of lint results: ``path:line: REP### message`` text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .base import RULES
+from .runner import LintReport
+
+__all__ = ["render_json", "render_text", "render_rule_list"]
+
+
+def render_text(report: LintReport) -> str:
+    """The human text report (what CI prints on failure)."""
+    lines: List[str] = [f.format() for f in report.findings]
+    if report.findings:
+        lines.append(
+            f"{len(report.findings)} finding(s) across "
+            f"{report.files_scanned} file(s)"
+            + (f"; {len(report.waived)} waived" if report.waived else "")
+        )
+    else:
+        lines.append(
+            f"lint clean: {report.files_scanned} file(s), "
+            f"rules {', '.join(report.rules_run)}"
+            + (f"; {len(report.waived)} finding(s) waived"
+               if report.waived else "")
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine report (``--json``), one stable sorted document."""
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules``: every registered rule with its documentation."""
+    blocks: List[str] = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        doc = rule.describe()
+        blocks.append(f"{rule_id}  {rule.title}\n\n{doc}\n")
+    return "\n".join(blocks)

@@ -1,0 +1,15 @@
+"""Project-specific rule modules; importing this package registers them.
+
+Each module registers one rule via :func:`repro.lint.base.register`;
+the registry (:data:`repro.lint.base.RULES`) is what the runner and the
+CLI's ``--list-rules`` iterate.
+"""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    async_blocking,
+    broad_except,
+    determinism,
+    fork_safety,
+    locks,
+    metrics_hygiene,
+)

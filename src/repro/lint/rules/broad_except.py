@@ -1,0 +1,158 @@
+"""REP002 — overbroad exception handling on cancellation-critical paths.
+
+Coroutines and pool/thread worker paths are where a swallowed
+``asyncio.CancelledError`` or ``KeyboardInterrupt`` turns into a wedged
+event loop, a stream that never ends, or a worker grinding long after
+Ctrl-C (every one of those happened here: the PR 5 SIGTERM-stranded
+workers, the PR 9 teardown races).  Inside those contexts this rule
+flags handlers that catch ``Exception``, ``BaseException`` or use a
+bare ``except`` — and handlers that catch ``CancelledError`` /
+``KeyboardInterrupt`` *explicitly* but fail to re-raise them.
+
+A flagged handler is accepted when either:
+
+* its body re-raises (contains a bare ``raise``), or
+* an **earlier** sibling handler of the same ``try`` catches the
+  context's critical exception (``CancelledError`` for coroutines,
+  ``KeyboardInterrupt`` for worker paths) and re-raises it.
+
+Worker paths are found by a name-level call graph: anything handed to
+``Thread(target=...)`` / ``Process(target=...)`` / ``pool.submit(...)``
+anywhere in the tree, plus everything those functions call.
+Deliberate swallows (teardown best-effort cleanup, ``__del__``) get a
+``# lint: waive[REP002] <reason>`` so intent is recorded at the site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..base import Finding, Rule, TreeContext, register
+from ..callgraph import worker_path_names
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+_BROAD = {"Exception", "BaseException"}
+_CRITICAL = {"CancelledError", "KeyboardInterrupt"}
+
+
+def _exception_names(expr: ast.AST | None) -> Set[str]:
+    """Bare names of the exception classes one handler catches."""
+    if expr is None:
+        return {"<bare>"}
+    if isinstance(expr, ast.Name):
+        return {expr.id}
+    if isinstance(expr, ast.Attribute):  # asyncio.CancelledError
+        return {expr.attr}
+    if isinstance(expr, ast.Tuple):
+        names: Set[str] = set()
+        for item in expr.elts:
+            names |= _exception_names(item)
+        return names
+    return set()
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise`` (any depth,
+    excluding nested function definitions)."""
+    stack: List[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+        if isinstance(node, _FuncDef + (ast.Lambda,)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _critical_sibling_reraises(
+    try_node: ast.Try, upto: int, wanted: str
+) -> bool:
+    """Whether a handler before index ``upto`` catches ``wanted`` and
+    re-raises it."""
+    for handler in try_node.handlers[:upto]:
+        if wanted in _exception_names(handler.type) and _reraises(handler):
+            return True
+    return False
+
+
+def _scan_function(
+    func: ast.AST,
+    *,
+    coroutine: bool,
+    worker: bool,
+    report,
+) -> None:
+    wanted = "CancelledError" if coroutine else "KeyboardInterrupt"
+    context = "coroutine" if coroutine else "worker path"
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FuncDef):
+            continue  # nested defs get their own classification pass
+        stack.extend(ast.iter_child_nodes(node))
+        if not isinstance(node, ast.Try):
+            continue
+        for idx, handler in enumerate(node.handlers):
+            caught = _exception_names(handler.type)
+            broad = bool(caught & _BROAD) or "<bare>" in caught
+            critical = caught & _CRITICAL
+            if not broad and not critical:
+                continue
+            if _reraises(handler):
+                continue
+            if broad and _critical_sibling_reraises(node, idx, wanted):
+                continue
+            if broad:
+                label = (
+                    "bare except" if "<bare>" in caught
+                    else f"except {'/'.join(sorted(caught & _BROAD))}"
+                )
+                report(
+                    handler,
+                    f"{label} in {context} can swallow "
+                    f"{wanted}; re-raise it first (sibling "
+                    f"`except {wanted}: raise`) or re-raise in the "
+                    "handler",
+                )
+            else:
+                # Explicitly catching the critical exception without
+                # re-raising is the swallow itself.
+                names = "/".join(sorted(critical))
+                report(
+                    handler,
+                    f"except {names} in {context} without re-raise "
+                    "swallows cancellation/interrupt",
+                )
+
+
+@register
+class BroadExceptRule(Rule):
+    __doc__ = __doc__
+
+    id = "REP002"
+    title = "broad except swallows CancelledError/KeyboardInterrupt"
+
+    def check_tree(self, tree: TreeContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        workers = worker_path_names(m.tree for m in tree.modules)
+        for module in tree.modules:
+            def report(node: ast.AST, message: str,
+                       _module=module) -> None:
+                findings.append(_module.finding("REP002", node, message))
+
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    _scan_function(
+                        node, coroutine=True, worker=False, report=report
+                    )
+                elif (
+                    isinstance(node, ast.FunctionDef)
+                    and node.name in workers
+                ):
+                    _scan_function(
+                        node, coroutine=False, worker=True, report=report
+                    )
+        return iter(findings)

@@ -1,0 +1,146 @@
+"""REP005 — fork/pickle safety of work handed to process pools.
+
+Everything submitted to a ``ProcessPoolExecutor`` or spawned as a
+``multiprocessing.Process`` crosses a pickle boundary (and must, for
+spawn-start interpreters to behave like forked ones — the engine's
+tasks carry *names, not callables* for exactly this reason).  Lambdas,
+closures, locks, sockets and open files do not pickle; a lambda that
+works under fork on Linux breaks the moment the start method changes
+or a watchdog worker is respawned.  This rule flags, per module:
+
+* ``<pool>.submit(...)`` / ``<pool>.map(...)`` where ``<pool>`` was
+  assigned from ``ProcessPoolExecutor(...)`` in the same module and any
+  argument contains a ``lambda``;
+* ``Process(target=...)`` / ``ctx.Process(target=...)`` calls whose
+  target or args contain a ``lambda``;
+* submissions whose first argument names a function *defined inside
+  another function* in the same module (a closure — unpicklable);
+* submissions passing a name assigned from ``threading.Lock()`` /
+  ``RLock()`` / ``Condition()`` / ``Semaphore()`` in the same module
+  (locks never pickle).
+
+Thread pools are exempt: nothing is pickled there.  The analysis is
+per-module and name-based; exotic aliasing it cannot see should be
+caught in review — or waived here with a reason if flagged wrongly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..base import Finding, ModuleContext, Rule, register
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                   "BoundedSemaphore"}
+
+
+def _assigned_name(target: ast.AST) -> str | None:
+    """`x = ...` → "x"; `self._executor = ...` → "_executor"."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _call_callee(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _receiver_name(func: ast.Attribute) -> str | None:
+    """`pool.submit` → "pool"; `self._executor.submit` → "_executor"."""
+    return _assigned_name(func.value)
+
+
+def _contains_lambda(node: ast.AST) -> bool:
+    return any(isinstance(n, ast.Lambda) for n in ast.walk(node))
+
+
+def _collect(module: ModuleContext):
+    """Names bound to process pools / locks, and nested function names."""
+    pools: Set[str] = set()
+    locks: Set[str] = set()
+    nested: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            callee = _call_callee(value)
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                name = _assigned_name(target)
+                if name is None:
+                    continue
+                if callee == "ProcessPoolExecutor":
+                    pools.add(name)
+                elif callee in _LOCK_FACTORIES:
+                    locks.add(name)
+        elif isinstance(node, _FuncDef):
+            for child in ast.walk(node):
+                if isinstance(child, _FuncDef) and child is not node:
+                    nested.add(child.name)
+    return pools, locks, nested
+
+
+@register
+class ForkSafetyRule(Rule):
+    __doc__ = __doc__
+
+    id = "REP005"
+    title = "unpicklable object (lambda/closure/lock) sent to a process pool"
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        pools, locks, nested = _collect(module)
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(module.finding("REP005", node, message))
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _call_callee(node)
+            payload: List[ast.AST] = []
+            is_process = False
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map", "apply_async")
+                and _receiver_name(node.func) in pools
+            ):
+                is_process = True
+                payload = list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]
+            elif callee == "Process":
+                is_process = True
+                payload = list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]
+            if not is_process:
+                continue
+            for arg in payload:
+                if _contains_lambda(arg):
+                    flag(arg, "lambda crosses a process boundary here; "
+                              "lambdas do not pickle — use a module-level "
+                              "function")
+                name = _assigned_name(arg)
+                if name is None:
+                    continue
+                if name in locks:
+                    flag(arg, f"{name!r} is a lock/semaphore; it cannot "
+                              "be pickled into a worker process")
+                elif name in nested:
+                    flag(arg, f"{name!r} is defined inside a function "
+                              "(a closure); closures do not pickle — "
+                              "move it to module level")
+        return iter(findings)

@@ -1,0 +1,153 @@
+"""REP003 — lock discipline inside classes.
+
+Two checks, both born from the serving tier's counter races (the
+``last_cache_hits`` cross-stream race fixed in PR 7, the ``/batch``
+counter drift fixed in PR 5):
+
+1. Attributes whose name ends in ``lock`` must guard state via ``with``
+   — explicit ``.acquire()`` / ``.release()`` pairs leak on exceptions
+   and defeat the reader's ability to see the guarded region.
+2. A field written under a lock in one method of a class must not be
+   read lock-free in *another* method of the same class: either the
+   lock is unnecessary, or the read is a data race.  Writes in
+   ``__init__`` (construction is single-threaded) and reads in dunder
+   helpers (``__repr__`` & co.) are exempt.
+
+The analysis is lexical and per-class: a ``with self.<...>lock:`` block
+marks every read/write inside it as guarded.  Cross-object aliasing and
+reads that are deliberately racy (monotonic counters polled for
+reporting) can be waived with ``# lint: waive[REP003] <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..base import Finding, ModuleContext, Rule, register
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Methods whose lock-free reads are accepted: construction and
+#: debug/teardown surfaces that run single-threaded by convention.
+_EXEMPT_READERS = {
+    "__init__", "__repr__", "__str__", "__del__", "__post_init__",
+}
+
+
+def _is_lock_name(name: str) -> bool:
+    return name.endswith("lock")
+
+
+def _lockish_expr(expr: ast.AST) -> bool:
+    """Whether a ``with`` context expression names a lock."""
+    if isinstance(expr, ast.Attribute):
+        return _is_lock_name(expr.attr)
+    if isinstance(expr, ast.Name):
+        return _is_lock_name(expr.id)
+    return False
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collect self-field accesses of one method, tagged guarded or not."""
+
+    def __init__(self) -> None:
+        self.guard_depth = 0
+        #: (field, guarded, lineno) per read / write of ``self.<field>``
+        self.reads: List[Tuple[str, bool, int]] = []
+        self.writes: List[Tuple[str, bool, int]] = []
+        self.acquire_calls: List[Tuple[str, int]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        lockish = any(_lockish_expr(item.context_expr)
+                      for item in node.items)
+        for item in node.items:
+            self.visit(item)
+        if lockish:
+            self.guard_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if lockish:
+            self.guard_depth -= 1
+
+    visit_AsyncWith = visit_With
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are their own scope
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("acquire", "release")
+            and _lockish_expr(func.value)
+        ):
+            self.acquire_calls.append((func.attr, node.lineno))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            guarded = self.guard_depth > 0
+            if isinstance(node.ctx, ast.Store):
+                self.writes.append((node.attr, guarded, node.lineno))
+            elif isinstance(node.ctx, ast.Load):
+                self.reads.append((node.attr, guarded, node.lineno))
+        self.generic_visit(node)
+
+
+@register
+class LockDisciplineRule(Rule):
+    __doc__ = __doc__
+
+    id = "REP003"
+    title = "lock misuse: non-with acquire, or lock-free read of guarded state"
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            scans: Dict[str, _MethodScanner] = {}
+            for item in cls.body:
+                if isinstance(item, _FuncDef):
+                    scanner = _MethodScanner()
+                    for stmt in item.body:
+                        scanner.visit(stmt)
+                    scans[item.name] = scanner
+
+            # 1. with-only lock usage
+            for method, scan in scans.items():
+                for verb, lineno in scan.acquire_calls:
+                    findings.append(module.finding(
+                        "REP003", lineno,
+                        f"{cls.name}.{method} calls .{verb}() on a lock; "
+                        "guard state with `with` instead",
+                    ))
+
+            # 2. guarded-write / lock-free-read pairs
+            guarded_writers: Dict[str, Set[str]] = {}
+            for method, scan in scans.items():
+                if method == "__init__":
+                    continue
+                for field, guarded, _ in scan.writes:
+                    if guarded:
+                        guarded_writers.setdefault(field, set()).add(method)
+            for method, scan in scans.items():
+                if method in _EXEMPT_READERS:
+                    continue
+                for field, guarded, lineno in scan.reads:
+                    writers = guarded_writers.get(field)
+                    if not writers or guarded or method in writers:
+                        continue
+                    findings.append(module.finding(
+                        "REP003", lineno,
+                        f"{cls.name}.{method} reads self.{field} without "
+                        "the lock that guards its writes in "
+                        f"{', '.join(sorted(writers))}",
+                    ))
+        return iter(findings)

@@ -1,0 +1,154 @@
+"""REP004 — metrics hygiene: naming, uniqueness and catalog parity.
+
+The observability layer (PR 7) exposes every registered family on
+``GET /metrics``; dashboards and the fabric window-sizing logic key on
+those names, so a typo'd, duplicated or undocumented metric is a silent
+contract break (the PR 8 digest-drift bug was exactly a name that
+existed in code but not in the contract).  For every registration call
+``OBS.counter/gauge/histogram(...)`` in the scanned tree:
+
+* the metric name must be a **string literal** (a computed name cannot
+  be audited statically or documented);
+* the name must match ``repro_[a-z0-9_]+`` (Prometheus snake_case with
+  the project prefix);
+* the name must be **unique** across the tree — two registration sites
+  sharing a name will silently merge series (get-or-create) or raise at
+  import, depending on signatures;
+* the name must appear in the README's *Metrics catalog* table, and —
+  when the scan covers the metrics core (``repro/obs/metrics.py``), so
+  we know the scan is the real tree — every catalog row must
+  correspond to a registered name (parity both directions).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from ..base import Finding, Rule, TreeContext, register
+
+_KINDS = {"counter", "gauge", "histogram"}
+_REGISTRY_NAMES = {"OBS"}
+_NAME_RE = re.compile(r"^repro_[a-z0-9]+(_[a-z0-9]+)*$")
+
+_CATALOG_MARKER = "Metrics catalog"
+_CATALOG_ROW_RE = re.compile(r"^\|\s*`([A-Za-z0-9_]+)`")
+
+
+def _registrations(tree: TreeContext) -> List[Tuple[str, ast.Call, object]]:
+    """Every ``OBS.<kind>(...)`` call: (kind, call node, module)."""
+    sites = []
+    for module in tree.modules:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _KINDS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in _REGISTRY_NAMES
+            ):
+                sites.append((node.func.attr, node, module))
+    return sites
+
+
+def read_catalog(tree: TreeContext) -> Dict[str, int]:
+    """Metric names in the README catalog table → line number.
+
+    Rows may omit the shared ``repro_`` prefix (the catalog header says
+    "all names prefixed ``repro_``"); names are normalized here.
+    """
+    readme = tree.root / "README.md"
+    if not readme.is_file():
+        return {}
+    names: Dict[str, int] = {}
+    in_catalog = False
+    for lineno, line in enumerate(
+        readme.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CATALOG_MARKER in line:
+            in_catalog = True
+            continue
+        if in_catalog and line.startswith("#"):
+            break  # next section heading ends the catalog
+        if not in_catalog:
+            continue
+        match = _CATALOG_ROW_RE.match(line)
+        if not match:
+            continue
+        name = match.group(1)
+        if name in ("metric",):  # table header row
+            continue
+        if not name.startswith("repro_"):
+            name = f"repro_{name}"
+        names.setdefault(name, lineno)
+    return names
+
+
+@register
+class MetricsHygieneRule(Rule):
+    __doc__ = __doc__
+
+    id = "REP004"
+    title = "metric registration: bad name, duplicate, or catalog drift"
+
+    def check_tree(self, tree: TreeContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        seen: Dict[str, Tuple[str, int]] = {}
+        registered: Dict[str, Tuple[object, ast.Call]] = {}
+        for kind, call, module in _registrations(tree):
+            if not call.args or not (
+                isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)
+            ):
+                findings.append(module.finding(
+                    "REP004", call,
+                    f"OBS.{kind}(...) name must be a string literal so it "
+                    "can be audited and cataloged",
+                ))
+                continue
+            name = call.args[0].value
+            if not _NAME_RE.match(name):
+                findings.append(module.finding(
+                    "REP004", call,
+                    f"metric name {name!r} must match repro_* snake_case "
+                    "(lowercase, underscore-separated, repro_ prefix)",
+                ))
+            first = seen.get(name)
+            if first is not None:
+                findings.append(module.finding(
+                    "REP004", call,
+                    f"metric name {name!r} already registered at "
+                    f"{first[0]}:{first[1]}; names must be unique "
+                    "tree-wide",
+                ))
+            else:
+                seen[name] = (module.rel, call.lineno)
+                registered[name] = (module, call)
+
+        catalog = read_catalog(tree)
+        full_tree_scan = any(
+            mod.rel.replace("\\", "/").endswith("repro/obs/metrics.py")
+            for mod in tree.modules
+        )
+        if catalog or full_tree_scan:
+            for name, (module, call) in sorted(registered.items()):
+                if name not in catalog:
+                    findings.append(module.finding(
+                        "REP004", call,
+                        f"metric {name!r} is not in the README metrics "
+                        "catalog; document it (the catalog is the wire "
+                        "contract)",
+                    ))
+        if full_tree_scan:
+            for name, lineno in sorted(catalog.items()):
+                if name not in registered:
+                    findings.append(Finding(
+                        path="README.md", line=lineno, rule="REP004",
+                        message=(
+                            f"catalog row {name!r} has no registration in "
+                            "the scanned tree; drop the row or register "
+                            "the metric"
+                        ),
+                    ))
+        return iter(findings)

@@ -471,14 +471,17 @@ class ServeApp:
         advertises its backlog and serving-tier saturation instead of
         silently queueing everything thrown at it.
         """
+        with self._counter_lock:
+            batches_served = self.batches_served
+            tasks_served = self.tasks_served
         return {
             "ok": True,
             "jobs": self.runner.jobs,
             "queue_depth": OBS.value("repro_queue_depth"),
             "streams_in_flight": OBS.value("repro_streams_in_flight"),
             "connections": self.connections,
-            "batches_served": self.batches_served,
-            "tasks_served": self.tasks_served,
+            "batches_served": batches_served,
+            "tasks_served": tasks_served,
             "cache": self.cache.stats,
         }
 
@@ -498,11 +501,14 @@ class ServeApp:
                 labels["status"]: child.value
                 for labels, child in family.children()
             }
+        with self._counter_lock:
+            batches_served = self.batches_served
+            tasks_served = self.tasks_served
         payload = {
             "ok": True,
             "jobs": self.runner.jobs,
-            "batches_served": self.batches_served,
-            "tasks_served": self.tasks_served,
+            "batches_served": batches_served,
+            "tasks_served": tasks_served,
             "queue_depth": OBS.value("repro_queue_depth"),
             "streams_in_flight": OBS.value("repro_streams_in_flight"),
             "connections": self.connections,
@@ -717,6 +723,10 @@ def _produce_batch(
         bridge.finish()
     except BaseException as exc:
         bridge.fail(exc)
+        if not isinstance(exc, Exception):
+            # KeyboardInterrupt / SystemExit: surface on the thread too,
+            # don't convert interpreter shutdown into a quiet batch error.
+            raise
     finally:
         results.close()
 
@@ -775,6 +785,7 @@ class ReproAsyncServer:
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
         self._started = threading.Event()
         self._stopped = threading.Event()
         self._stopped.set()  # not running yet
@@ -805,7 +816,7 @@ class ReproAsyncServer:
         self._loop = asyncio.get_running_loop()
         self._shutdown_event = asyncio.Event()
         server = await asyncio.start_server(
-            self._handle_connection,
+            self._accept_connection,
             sock=self._sock,
             limit=_STREAM_LIMIT,
         )
@@ -857,6 +868,27 @@ class ReproAsyncServer:
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
+    def _accept_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Sync accept callback: spawn and track the handler task.
+
+        Handing ``start_server`` the coroutine directly would make the
+        streams protocol wrap it in a task whose completion callback
+        calls ``task.exception()`` — which *raises* on a cancelled task
+        (3.11 ``asyncio.streams``) and spams the loop's exception
+        handler at teardown, now that handlers re-raise
+        ``CancelledError`` as the asyncio contract requires.  Owning the
+        task here keeps cancellation propagation and quiet teardown;
+        the strong reference also keeps the task alive (the loop holds
+        only weak ones).
+        """
+        task = asyncio.get_running_loop().create_task(
+            self._handle_connection(reader, writer)
+        )
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -873,11 +905,11 @@ class ReproAsyncServer:
         except _CONNECTION_GONE:
             pass  # peer vanished; nothing useful left to say to it
         except asyncio.CancelledError:
-            # Server teardown cancelled this connection's task.  Ending
-            # the task *normally* (after the cleanup below) keeps the
-            # stream protocol's completion callback from re-raising the
-            # cancellation into the closing loop's exception handler.
-            pass
+            # Server teardown cancelled this connection's task.  Run the
+            # cleanup below, then let the cancellation propagate: a task
+            # that swallows CancelledError reports "finished normally"
+            # and wedges whoever is awaiting its cancellation.
+            raise
         except Exception as exc:
             self._log(f"connection handler error: "
                       f"{type(exc).__name__}: {exc}")
@@ -886,7 +918,7 @@ class ReproAsyncServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (Exception, asyncio.CancelledError):
+            except (Exception, asyncio.CancelledError):  # lint: waive[REP002] best-effort close of a dead socket; a CancelledError raised above keeps propagating
                 pass
 
     async def _reject_overloaded(
@@ -911,7 +943,7 @@ class ReproAsyncServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (Exception, asyncio.CancelledError):
+            except (Exception, asyncio.CancelledError):  # lint: waive[REP002] best-effort close while rejecting an overloaded peer; nothing left to tell it
                 pass
 
     async def _connection_loop(

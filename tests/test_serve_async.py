@@ -477,6 +477,67 @@ class TestConnectionAccounting:
                     conn.close()
 
 
+class _StubWriter:
+    """The slice of ``StreamWriter`` that a cancelled handler touches."""
+
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+    async def wait_closed(self):
+        return None
+
+    def get_extra_info(self, name, default=None):
+        return default
+
+
+class TestCancellationPropagation:
+    """Regression: ``_handle_connection`` used to swallow CancelledError.
+
+    A connection task that catches the cancellation and returns
+    normally reports ``cancelled() == False``, which wedges any caller
+    awaiting its cancellation during server teardown (the asyncio
+    contract is cleanup-then-reraise).  Lint rule REP002 now guards the
+    pattern; this pins the runtime behavior.
+    """
+
+    def test_cancelled_batch_connection_propagates_cancellation(self):
+        with _server(jobs=1) as srv:
+            before = srv.app.connections
+            loop = asyncio.new_event_loop()
+            try:
+                async def scenario():
+                    reader = asyncio.StreamReader()
+                    writer = _StubWriter()
+                    task = asyncio.ensure_future(
+                        srv._handle_connection(reader, writer)
+                    )
+                    # let the handler start and block reading the head
+                    for _ in range(100):
+                        if srv.app.connections > before:
+                            break
+                        await asyncio.sleep(0.01)
+                    # a partial /batch request keeps the coroutine
+                    # mid-request when the cancellation lands
+                    reader.feed_data(b"POST /batch HTTP/1.1\r\nHost: t\r\n")
+                    await asyncio.sleep(0.02)
+                    task.cancel()
+                    with pytest.raises(asyncio.CancelledError):
+                        await task
+                    return task, writer
+
+                task, writer = loop.run_until_complete(scenario())
+            finally:
+                loop.close()
+            assert task.cancelled(), (
+                "handler swallowed CancelledError instead of re-raising"
+            )
+            assert writer.closed, "cleanup must still run before re-raise"
+            assert srv.app.connections == before
+
+
 class TestKeepAliveSoak:
     def test_hundreds_of_idle_connections_with_live_traffic(self):
         """~200 idle keep-alive connections cost the server nothing:

@@ -1,169 +1,44 @@
 #!/usr/bin/env python3
-"""Static check: no blocking calls inside ``repro.serve`` coroutines.
+"""DEPRECATED shim — use ``repro lint`` (rule REP001) instead.
 
-The asyncio serving tier multiplexes every connection on one event
-loop; a single blocking call inside an ``async def`` stalls *all* of
-them.  This script walks the AST of every module under
-``src/repro/serve`` and flags, inside coroutine bodies:
+The one-off async-blocking checker this file used to hold grew into the
+project's static-analysis framework (:mod:`repro.lint`).  Rule REP001
+is a strict superset of the old check: the same blocking-call and
+banned-import detection inside coroutines, now applied tree-wide, with
+the same ``# blocking-ok`` waiver spelling honoured (it now means
+``lint: waive[REP001]``).
 
-* ``time.sleep(...)`` — use ``asyncio.sleep`` or move off-loop;
-* blocking socket methods (``recv``/``recv_into``/``sendall``/
-  ``accept``/``makefile``) — coroutines speak through
-  ``StreamReader``/``StreamWriter``;
-* the synchronous :class:`ServeClient` — a coroutine calling the
-  blocking HTTP client would wedge the loop under its own server;
-* builtin ``open(...)`` — file I/O belongs on the request executor;
-* ``subprocess`` / ``urllib`` usage — same reason;
-* ``.join(...)`` on ``threading.Thread`` values is *not* flagged (too
-  many false positives against ``str.join``) — keep thread joins out of
-  coroutines by review.
+This entry point remains so older scripts and CI configs keep working:
+it runs REP001 over the paths given (default: ``src/repro/serve``, the
+old tool's scope) and exits non-zero on findings, exactly as before.
+Prefer::
 
-Blocking work that is deliberate (e.g. a call that is known to be
-nonblocking in context) can be waived with a ``# blocking-ok`` comment
-on the offending line.  Module-level and plain-function code is not
-scanned: blocking there is fine (request parsing and solving run on the
-executor by design).
-
-The check also fails if ``http.server`` or ``socketserver`` are
-imported anywhere in the package — the threading server was deleted in
-the asyncio rewrite and must not creep back.
-
-Exit status: 0 clean, 1 findings (printed as ``path:line: message``).
+    repro lint src tools benchmarks          # the full rule set
+    repro lint --rules REP001 src            # just this rule
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-SERVE_DIR = Path(__file__).resolve().parents[1] / "src" / "repro" / "serve"
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-#: Attribute calls that block the calling thread when the receiver is a
-#: socket-like object.
-_BLOCKING_SOCKET_ATTRS = {
-    "recv",
-    "recv_into",
-    "recvfrom",
-    "sendall",
-    "accept",
-    "makefile",
-}
-
-#: Modules whose use inside a coroutine is blocking by construction.
-_BLOCKING_MODULES = {"subprocess", "urllib"}
-
-#: Importing these anywhere re-introduces the deleted threading server.
-_BANNED_IMPORTS = {"http.server", "socketserver"}
+from repro.lint.cli import main as _lint_main  # noqa: E402
 
 
-def _waived(source_lines: list[str], node: ast.AST) -> bool:
-    line = source_lines[node.lineno - 1]
-    return "# blocking-ok" in line or "#blocking-ok" in line
-
-
-class _CoroutineScanner(ast.NodeVisitor):
-    """Scan one ``async def`` body, skipping nested sync functions.
-
-    A nested plain ``def`` inside a coroutine is almost always an
-    executor target or callback — blocking there is the *point*.
-    """
-
-    def __init__(self, path: Path, source_lines: list[str],
-                 findings: list[str]) -> None:
-        self.path = path
-        self.lines = source_lines
-        self.findings = findings
-
-    def _flag(self, node: ast.AST, message: str) -> None:
-        if not _waived(self.lines, node):
-            self.findings.append(f"{self.path}:{node.lineno}: {message}")
-
-    # -- nested scopes -------------------------------------------------
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        pass  # sync helper inside a coroutine: allowed to block
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        pass
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        for child in node.body:
-            self.visit(child)
-
-    # -- calls ---------------------------------------------------------
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute):
-            owner = func.value
-            if (
-                isinstance(owner, ast.Name)
-                and owner.id == "time"
-                and func.attr == "sleep"
-            ):
-                self._flag(node, "time.sleep() in coroutine "
-                                 "(use asyncio.sleep or run_in_executor)")
-            elif (
-                isinstance(owner, ast.Name)
-                and owner.id in _BLOCKING_MODULES
-            ):
-                self._flag(node, f"{owner.id}.{func.attr}() in coroutine "
-                                 "(move to the request executor)")
-            elif func.attr in _BLOCKING_SOCKET_ATTRS:
-                self._flag(node, f".{func.attr}() in coroutine looks like "
-                                 "blocking socket I/O (use the stream "
-                                 "reader/writer)")
-        elif isinstance(func, ast.Name):
-            if func.id == "open":
-                self._flag(node, "open() in coroutine "
-                                 "(file I/O belongs on the executor)")
-            elif func.id == "ServeClient":
-                self._flag(node, "synchronous ServeClient built inside a "
-                                 "coroutine")
-        self.generic_visit(node)
-
-
-def _scan_module(path: Path, findings: list[str]) -> None:
-    source = path.read_text(encoding="utf-8")
-    lines = source.splitlines()
-    tree = ast.parse(source, filename=str(path))
-
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name in _BANNED_IMPORTS and not _waived(lines, node):
-                    findings.append(
-                        f"{path}:{node.lineno}: import of {alias.name} — "
-                        "the threading server is gone; serve on asyncio"
-                    )
-        elif isinstance(node, ast.ImportFrom):
-            if node.module in _BANNED_IMPORTS and not _waived(lines, node):
-                findings.append(
-                    f"{path}:{node.lineno}: import from {node.module} — "
-                    "the threading server is gone; serve on asyncio"
-                )
-        elif isinstance(node, ast.AsyncFunctionDef):
-            scanner = _CoroutineScanner(path, lines, findings)
-            for child in node.body:
-                scanner.visit(child)
-
-
-def main() -> int:
-    if not SERVE_DIR.is_dir():
-        print(f"serve package not found at {SERVE_DIR}", file=sys.stderr)
-        return 2
-    findings: list[str] = []
-    for path in sorted(SERVE_DIR.rglob("*.py")):
-        _scan_module(path, findings)
-    if findings:
-        print(f"{len(findings)} blocking-call finding(s) in async serving "
-              "code:", file=sys.stderr)
-        for finding in findings:
-            print(f"  {finding}", file=sys.stderr)
-        return 1
-    print(f"async-blocking check clean: {SERVE_DIR.relative_to(Path.cwd())}"
-          if SERVE_DIR.is_relative_to(Path.cwd()) else
-          f"async-blocking check clean: {SERVE_DIR}")
-    return 0
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    print(
+        "tools/check_async_blocking.py is deprecated; it now delegates to "
+        "`repro lint --rules REP001`",
+        file=sys.stderr,
+    )
+    paths = args or [str(_REPO_ROOT / "src" / "repro" / "serve")]
+    return _lint_main(
+        ["--rules", "REP001", "--root", str(_REPO_ROOT), *paths]
+    )
 
 
 if __name__ == "__main__":
